@@ -1,0 +1,174 @@
+// Command cryoaig is an ABC-style AIG utility: it reads a circuit (an
+// AIGER file or a named EPFL benchmark), optionally runs optimization
+// scripts, reports statistics, and writes AIGER/Verilog-mappable output.
+//
+//	cryoaig -circuit adder -stats
+//	cryoaig -circuit sin -script c2rs -o sin_opt.aag
+//	cryoaig -in design.aag -script "balance;rewrite;resub" -verify -stats
+//	cryoaig -circuit priority -export-all dir/   # dump the whole EPFL suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/epfl"
+)
+
+func main() {
+	in := flag.String("in", "", "input AIGER file (.aag ASCII or .aig binary)")
+	circuit := flag.String("circuit", "", "EPFL benchmark name (alternative to -in)")
+	script := flag.String("script", "", "semicolon-separated passes: balance, rewrite, rewrite-z, refactor, resub, c2rs, lutpack")
+	out := flag.String("o", "", "output AIGER path")
+	stats := flag.Bool("stats", true, "print size/depth statistics")
+	verify := flag.Bool("verify", false, "SAT-verify equivalence of the optimized AIG")
+	exportAll := flag.String("export-all", "", "write every EPFL benchmark as AIGER into this directory and exit")
+	flag.Parse()
+
+	if *exportAll != "" {
+		if err := exportSuite(*exportAll); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	g, err := load(*in, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Printf("input:  %s\n", describe(g))
+	}
+	opt := g
+	if *script != "" {
+		opt, err = runScript(g, *script)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Printf("output: %s\n", describe(opt))
+		}
+		if *verify {
+			eq, proven := aig.Equivalent(g, opt, 500000)
+			switch {
+			case !proven:
+				fatal(fmt.Errorf("verification inconclusive (budget exhausted)"))
+			case !eq:
+				fatal(fmt.Errorf("VERIFICATION FAILED: optimized AIG differs"))
+			default:
+				fmt.Println("verified: optimized AIG is equivalent")
+			}
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*out, ".aig") {
+			err = opt.WriteAIGERBinary(f)
+		} else {
+			err = opt.WriteAIGER(f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func load(in, circuit string) (*aig.AIG, error) {
+	switch {
+	case in != "" && circuit != "":
+		return nil, fmt.Errorf("specify either -in or -circuit, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(in, ".aig") {
+			return aig.ReadAIGERBinary(f)
+		}
+		return aig.ReadAIGER(f)
+	case circuit != "":
+		return epfl.Build(circuit)
+	default:
+		return nil, fmt.Errorf("no input: use -in file.aag or -circuit <name> (%s)", strings.Join(epfl.Names(), ", "))
+	}
+}
+
+func runScript(g *aig.AIG, script string) (*aig.AIG, error) {
+	cur := g
+	for _, pass := range strings.Split(script, ";") {
+		pass = strings.TrimSpace(pass)
+		if pass == "" {
+			continue
+		}
+		switch pass {
+		case "balance", "b":
+			cur = cur.Balance()
+		case "rewrite", "rw":
+			cur = cur.Rewrite(false)
+		case "rewrite-z", "rwz":
+			cur = cur.Rewrite(true)
+		case "refactor", "rf":
+			cur = cur.Refactor()
+		case "resub", "rs":
+			cur = cur.Resub(aig.DefaultResubOptions())
+		case "c2rs":
+			cur = cur.Balance().
+				Resub(aig.DefaultResubOptions()).
+				Rewrite(false).
+				Resub(aig.DefaultResubOptions()).
+				Refactor().
+				Balance().
+				Rewrite(true).
+				Balance()
+		case "lutpack":
+			lut := cur.MapLUT(aig.LUTMapOptions{K: 6, PowerAware: true})
+			lut.Mfs(aig.DefaultMfsOptions())
+			cur = lut.Strash()
+		default:
+			return nil, fmt.Errorf("unknown pass %q", pass)
+		}
+		fmt.Printf("  after %-10s %s\n", pass+":", describe(cur))
+	}
+	return cur, nil
+}
+
+func describe(g *aig.AIG) string {
+	return fmt.Sprintf("%-12s pi=%4d po=%4d and=%6d depth=%3d",
+		g.Name, g.NumPIs(), g.NumPOs(), g.NumNodes(), g.Depth())
+}
+
+func exportSuite(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, gen := range epfl.Suite() {
+		g := gen.Build()
+		path := filepath.Join(dir, gen.Name+".aag")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteAIGER(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		fmt.Printf("wrote %-24s %s\n", path, describe(g))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cryoaig:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command cryomodel reproduces the paper's Fig. 1(b,c): transfer
+// characteristics of the cryogenic-aware FinFET compact model validated
+// against (virtual) measurements from 300 K down to 10 K, at low and high
+// drain bias, for both device polarities. It also reports the calibration
+// quality (RMS log-current agreement), the quantitative form of the paper's
+// "excellent agreement" claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/device"
+	"repro/internal/fit"
+	"repro/internal/measure"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "virtual-wafer seed")
+	calibrate := flag.Bool("calibrate", true, "run parameter extraction before plotting")
+	sweep := flag.Bool("sweep", true, "print the I-V sweeps (Fig 1b/1c data)")
+	flag.Parse()
+
+	for _, typ := range []device.Type{device.NFET, device.PFET} {
+		fmt.Printf("==== %s ====\n", typ)
+		silicon := measure.ReferenceSilicon(typ, *seed)
+		station := measure.NewStation(*seed + 100)
+		data := station.Measure(silicon, measure.PaperPlan())
+
+		var model *device.Model
+		if typ == device.PFET {
+			model = device.NewP(1)
+		} else {
+			model = device.NewN(1)
+		}
+		before := fit.LogRMSError(model, data, station.NoiseFloor)
+		if *calibrate {
+			res := fit.Calibrate(model, data, fit.AllKnobs, station.NoiseFloor)
+			fmt.Printf("calibration: RMS log error %.4f -> %.4f decades (%d objective evaluations)\n",
+				before, res.RMSLog, res.Evals)
+			model = res.Model
+		}
+		fmt.Printf("Vth(300K)=%.3f V  Vth(10K)=%.3f V  SS(300K)=%.1f mV/dec  SS(10K)=%.1f mV/dec\n",
+			model.P.Vth(300), model.P.Vth(10),
+			model.P.SubthresholdSwing(300)*1e3, model.P.SubthresholdSwing(10)*1e3)
+		fmt.Printf("Ion(300K)=%.2f uA  Ion(10K)=%.2f uA  Ioff(300K)=%.3g A  Ioff(10K)=%.3g A\n",
+			model.OnCurrent(0.7, 300)*1e6, model.OnCurrent(0.7, 10)*1e6,
+			model.OffCurrent(0.7, 300), model.OffCurrent(0.7, 10))
+		if !*sweep {
+			continue
+		}
+		for _, vds := range []float64{0.05, 0.75} {
+			fig := "Fig 1(b)"
+			if vds > 0.1 {
+				fig = "Fig 1(c)"
+			}
+			fmt.Printf("\n%s — |Vds| = %g V: measured (dots) vs model (lines), Ids in A\n", fig, vds)
+			w := tabwriter.NewWriter(os.Stdout, 6, 2, 2, ' ', 0)
+			fmt.Fprint(w, "Vgs\t")
+			for _, temp := range []float64{300, 200, 100, 77, 50, 25, 10} {
+				fmt.Fprintf(w, "meas@%gK\tmodel@%gK\t", temp, temp)
+			}
+			fmt.Fprintln(w)
+			sign := 1.0
+			if typ == device.PFET {
+				sign = -1
+			}
+			for vgs := 0.0; vgs <= 0.751; vgs += 0.075 {
+				fmt.Fprintf(w, "%.3f\t", sign*vgs)
+				for _, temp := range []float64{300, 200, 100, 77, 50, 25, 10} {
+					meas := nearestMeasurement(data, sign*vgs, sign*vds, temp)
+					sim := model.Ids(sign*vgs, sign*vds, temp)
+					fmt.Fprintf(w, "%.3e\t%.3e\t", meas, sim)
+				}
+				fmt.Fprintln(w)
+			}
+			w.Flush()
+		}
+		fmt.Println()
+	}
+}
+
+func nearestMeasurement(ds measure.Dataset, vgs, vds, temp float64) float64 {
+	best := 0.0
+	bestDist := 1e9
+	for _, pt := range ds.Points {
+		if pt.TempSet != temp {
+			continue
+		}
+		d := abs(pt.Vgs-vgs) + abs(pt.Vds-vds)
+		if d < bestDist {
+			bestDist, best = d, pt.Ids
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

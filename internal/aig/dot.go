@@ -1,0 +1,42 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot emits the AIG in Graphviz DOT format: PIs as boxes, AND nodes as
+// circles, complemented edges dashed, POs as double circles. Intended for
+// inspecting small cones; graphs beyond a few thousand nodes are better
+// viewed statistically.
+func (g *AIG) WriteDot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=BT;\n", g.Name)
+	for i := 0; i < g.numPI; i++ {
+		fmt.Fprintf(bw, "  v%d [shape=box,label=%q];\n", i+1, g.pis[i])
+	}
+	edge := func(from int, to Lit) {
+		style := "solid"
+		if to.IsCompl() {
+			style = "dashed"
+		}
+		fmt.Fprintf(bw, "  v%d -> v%d [dir=back,style=%s];\n", to.Var(), from, style)
+	}
+	for v := g.numPI + 1; v < g.NumVars(); v++ {
+		n := &g.nodes[v]
+		fmt.Fprintf(bw, "  v%d [shape=circle,label=\"%d\"];\n", v, v)
+		edge(v, n.fan0)
+		edge(v, n.fan1)
+	}
+	for i, po := range g.pos {
+		fmt.Fprintf(bw, "  o%d [shape=doublecircle,label=%q];\n", i, g.poNames[i])
+		style := "solid"
+		if po.IsCompl() {
+			style = "dashed"
+		}
+		fmt.Fprintf(bw, "  v%d -> o%d [style=%s];\n", po.Var(), i, style)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

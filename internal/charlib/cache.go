@@ -1,0 +1,54 @@
+package charlib
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/liberty"
+	"repro/internal/pdk"
+)
+
+// CharacterizeLibraryCached characterizes the library unless a liberty file
+// at path already holds a matching corner (same temperature and cell
+// count), in which case the cached file is parsed and returned. Freshly
+// characterized results are written to path.
+func CharacterizeLibraryCached(path, name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
+	if f, err := os.Open(path); err == nil {
+		lib, perr := liberty.Parse(f)
+		f.Close()
+		if perr == nil && lib.TempK == cfg.TempK && len(lib.Cells) == len(cells) {
+			return lib, nil
+		}
+		// Stale or corrupt cache: fall through and regenerate.
+	}
+	lib, err := CharacterizeLibrary(name, cells, cfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if err := lib.Write(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// DefaultCachePath returns the canonical on-disk location for a
+// characterized corner, rooted at dir.
+func DefaultCachePath(dir string, tempK float64, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("cryolib_%gK_%dcells.lib", tempK, n))
+}

@@ -1,0 +1,349 @@
+// Package charlib characterizes standard cells into liberty libraries by
+// driving the SPICE engine, substituting for the paper's Synopsys
+// SiliconSmart flow. Every cell is measured on a 7x7 grid of input signal
+// slews and output load capacitances (the paper's setup), extracting
+// propagation delays, output transitions, per-event switching/internal
+// energy, and state-averaged leakage power.
+package charlib
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/liberty"
+	"repro/internal/pdk"
+	"repro/internal/spice"
+)
+
+// Config controls one characterization corner.
+type Config struct {
+	Vdd     float64   // supply voltage (V)
+	TempK   float64   // temperature (K)
+	Slews   []float64 // input transition times (full-swing equivalent, s)
+	Loads   []float64 // output load capacitances (F)
+	Workers int       // parallel cell workers; 0 = GOMAXPROCS
+}
+
+// DefaultConfig returns the paper's 7x7 characterization grid at the given
+// temperature.
+func DefaultConfig(tempK float64) Config {
+	return Config{
+		Vdd:   0.7,
+		TempK: tempK,
+		Slews: geometric(2.5e-12, 2, 7), // 2.5 ps .. 160 ps
+		Loads: geometric(0.2e-15, 2, 7), // 0.2 fF .. 12.8 fF
+	}
+}
+
+// QuickConfig returns a reduced 3x3 grid for fast unit tests.
+func QuickConfig(tempK float64) Config {
+	return Config{
+		Vdd:   0.7,
+		TempK: tempK,
+		Slews: []float64{5e-12, 20e-12, 80e-12},
+		Loads: []float64{0.4e-15, 1.6e-15, 6.4e-15},
+	}
+}
+
+func geometric(start, ratio float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out
+}
+
+// CharacterizeCell measures one cell and returns its liberty view.
+func CharacterizeCell(cell *pdk.Cell, cfg Config) (*liberty.Cell, error) {
+	ch := &charer{cfg: cfg}
+	return ch.cell(cell)
+}
+
+// CharacterizeLibrary measures all cells (in parallel) and assembles the
+// library. progress, when non-nil, is called after each finished cell.
+func CharacterizeLibrary(name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lib := &liberty.Library{Name: name, TempK: cfg.TempK, Vdd: cfg.Vdd}
+	results := make([]*liberty.Cell, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	sem := make(chan struct{}, workers)
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c *pdk.Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			lc, err := CharacterizeCell(c, cfg)
+			results[i], errs[i] = lc, err
+			if progress != nil {
+				mu.Lock()
+				done++
+				progress(done, len(cells))
+				mu.Unlock()
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("charlib: cell %s: %w", cells[i].Name, err)
+		}
+		lib.Cells = append(lib.Cells, results[i])
+	}
+	return lib, nil
+}
+
+type charer struct {
+	cfg Config
+}
+
+func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
+	lc := &liberty.Cell{
+		Name:       cell.Name,
+		Area:       cell.Area(),
+		Sequential: cell.Seq,
+		ClockPin:   cell.Clock,
+	}
+	leak, err := ch.leakage(cell)
+	if err != nil {
+		return nil, fmt.Errorf("leakage: %w", err)
+	}
+	lc.LeakagePower = leak
+
+	for _, in := range cell.Inputs {
+		lc.Pins = append(lc.Pins, &liberty.Pin{
+			Name:      in,
+			Direction: "input",
+			Cap:       cell.InputCap(in, ch.cfg.TempK),
+		})
+	}
+	for _, out := range cell.Outputs {
+		pin := &liberty.Pin{
+			Name:      out,
+			Direction: "output",
+			Function:  functionString(cell, out),
+		}
+		if cell.Seq {
+			tm, pw, err := ch.clockArc(cell, out)
+			if err != nil {
+				return nil, fmt.Errorf("clk->%s: %w", out, err)
+			}
+			pin.Timings = append(pin.Timings, tm)
+			pin.Powers = append(pin.Powers, pw)
+		} else {
+			for _, in := range cell.Inputs {
+				vec, o0, o1, ok := sensitizingVector(cell, in, out)
+				if !ok {
+					continue
+				}
+				tm, pw, err := ch.combArc(cell, in, out, vec, o0, o1)
+				if err != nil {
+					return nil, fmt.Errorf("%s->%s: %w", in, out, err)
+				}
+				tm.Sense = senseOf(cell, in, out)
+				pin.Timings = append(pin.Timings, tm)
+				pin.Powers = append(pin.Powers, pw)
+			}
+		}
+		lc.Pins = append(lc.Pins, pin)
+	}
+	return lc, nil
+}
+
+// sensitizingVector finds an assignment of the side inputs under which the
+// output depends on pin "in". It returns the vector (as a bitmask over the
+// cell's input order, with the target pin's bit meaningless), the output
+// value with in=0 and with in=1, and whether sensitization exists.
+func sensitizingVector(cell *pdk.Cell, in, out string) (vec int, o0, o1 bool, ok bool) {
+	tt, has := cell.Truth(out)
+	if !has {
+		return 0, false, false, false
+	}
+	pos := pinIndex(cell, in)
+	n := len(cell.Inputs)
+	for v := 0; v < 1<<uint(n); v++ {
+		if v&(1<<uint(pos)) != 0 {
+			continue // enumerate with target bit 0
+		}
+		lo := tt&(1<<uint(v)) != 0
+		hi := tt&(1<<uint(v|1<<uint(pos))) != 0
+		if lo != hi {
+			return v, lo, hi, true
+		}
+	}
+	return 0, false, false, false
+}
+
+// senseOf classifies the arc's unateness across all sensitizing vectors.
+func senseOf(cell *pdk.Cell, in, out string) string {
+	tt, has := cell.Truth(out)
+	if !has {
+		return liberty.SenseNonUnate
+	}
+	pos := pinIndex(cell, in)
+	n := len(cell.Inputs)
+	posU, negU := false, false
+	for v := 0; v < 1<<uint(n); v++ {
+		if v&(1<<uint(pos)) != 0 {
+			continue
+		}
+		lo := tt&(1<<uint(v)) != 0
+		hi := tt&(1<<uint(v|1<<uint(pos))) != 0
+		if !lo && hi {
+			posU = true
+		}
+		if lo && !hi {
+			negU = true
+		}
+	}
+	switch {
+	case posU && negU:
+		return liberty.SenseNonUnate
+	case negU:
+		return liberty.SenseNegative
+	default:
+		return liberty.SensePositive
+	}
+}
+
+func pinIndex(cell *pdk.Cell, pin string) int {
+	for i, p := range cell.Inputs {
+		if p == pin {
+			return i
+		}
+	}
+	return -1
+}
+
+// functionString renders the output's truth table as a liberty
+// sum-of-products expression.
+func functionString(cell *pdk.Cell, out string) string {
+	tt, ok := cell.Truth(out)
+	if !ok {
+		if cell.Seq {
+			return "IQ"
+		}
+		return ""
+	}
+	n := len(cell.Inputs)
+	if tt == 0 {
+		return "0"
+	}
+	full := uint64(1)<<uint(1<<uint(n)) - 1
+	if n == 6 {
+		full = ^uint64(0)
+	}
+	if tt == full {
+		return "1"
+	}
+	terms := ""
+	for v := 0; v < 1<<uint(n); v++ {
+		if tt&(1<<uint(v)) == 0 {
+			continue
+		}
+		term := ""
+		for i := 0; i < n; i++ {
+			if term != "" {
+				term += "*"
+			}
+			if v&(1<<uint(i)) == 0 {
+				term += "!" + cell.Inputs[i]
+			} else {
+				term += cell.Inputs[i]
+			}
+		}
+		if terms != "" {
+			terms += " + "
+		}
+		terms += "(" + term + ")"
+	}
+	return terms
+}
+
+// leakage returns the state-averaged static power of the cell.
+func (ch *charer) leakage(cell *pdk.Cell) (float64, error) {
+	n := len(cell.Inputs)
+	if n > 6 {
+		return 0, fmt.Errorf("too many inputs")
+	}
+	var sum float64
+	count := 0
+	for v := 0; v < 1<<uint(n); v++ {
+		p, err := ch.staticPower(cell, v)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+		count++
+	}
+	return sum / float64(count), nil
+}
+
+// staticPower computes Vdd * Isupply at one input state. Sequential cells
+// contain bistable feedback loops whose symmetric (metastable) DC solution
+// would report massive short-circuit current; a femto-scale pulldown on the
+// state nodes first steers Newton onto a stable digital branch, and the
+// operating point is then re-solved without the aid.
+func (ch *charer) staticPower(cell *pdk.Cell, vec int) (float64, error) {
+	c := spice.New(ch.cfg.TempK)
+	vddN := c.Node("vdd")
+	br := c.AddVSource(vddN, spice.Ground, spice.DC(ch.cfg.Vdd))
+	pins := map[string]spice.NodeID{}
+	for i, in := range cell.Inputs {
+		node := c.Node("in_" + in)
+		pins[in] = node
+		v := 0.0
+		if vec&(1<<uint(i)) != 0 {
+			v = ch.cfg.Vdd
+		}
+		c.AddVSource(node, spice.Ground, spice.DC(v))
+	}
+	for _, out := range cell.Outputs {
+		pins[out] = c.Node("out_" + out)
+	}
+	if err := cell.Build(c, "dut", pins, vddN); err != nil {
+		return 0, err
+	}
+	if !cell.Seq {
+		x, err := c.OpPoint()
+		if err != nil {
+			return 0, err
+		}
+		return ch.cfg.Vdd * math.Abs(x[c.NumNodes()+br]), nil
+	}
+	// Symmetry breaker on the latch state nodes (created by the sequential
+	// cell generators): a hard clamp to ground, enabled for the first solve
+	// only, forces each feedback loop onto a definite digital branch.
+	aidOn := true
+	aid := func(float64) float64 {
+		if aidOn {
+			return 0.05 // 20 Ohm: overpowers any cell pull-up at any drive
+		}
+		return 0
+	}
+	for _, state := range []string{"mi", "si", "li"} {
+		if id, ok := c.LookupNode("dut." + state); ok {
+			c.AddClamp(id, 0, aid)
+		}
+	}
+	seed, err := c.OpPoint()
+	if err != nil {
+		return 0, err
+	}
+	aidOn = false
+	x, err := c.OpPointFrom(seed)
+	if err != nil {
+		return 0, err
+	}
+	return ch.cfg.Vdd * math.Abs(x[c.NumNodes()+br]), nil
+}

@@ -1,0 +1,207 @@
+package charlib
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/pdk"
+	"repro/internal/spice"
+)
+
+// MeasureSetupHold extracts the setup and hold times of an edge-triggered
+// flop by bisection at the mid slew point: the data transition is moved
+// toward (setup) or away from (hold) the active clock edge until capture
+// fails; the constraint is the last passing margin. Results are in seconds.
+//
+// This is the constraint-characterization half of a SiliconSmart flow; it
+// is opt-in because it costs ~10 transients per cell.
+func MeasureSetupHold(cell *pdk.Cell, cfg Config) (setup, hold float64, err error) {
+	if !cell.Seq || !cell.IsFlop {
+		return 0, 0, fmt.Errorf("charlib: %s is not an edge-triggered flop", cell.Name)
+	}
+	slew := cfg.Slews[len(cfg.Slews)/2]
+	load := cfg.Loads[len(cfg.Loads)/2]
+	ch := &charer{cfg: cfg}
+
+	// Setup: largest data-before-edge margin that fails, bisected against
+	// the smallest that passes.
+	pass := 120e-12 // assumed-safe setup margin
+	ok, err := ch.captures(cell, pass, slew, load)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("charlib: %s does not capture even with %g s setup", cell.Name, pass)
+	}
+	fail := -20e-12 // data after the edge must fail
+	if ok, err = ch.captures(cell, fail, slew, load); err != nil {
+		return 0, 0, err
+	} else if ok {
+		// Degenerate but possible with reconvergent stimuli; report zero.
+		return 0, 0, nil
+	}
+	for i := 0; i < 9; i++ {
+		mid := 0.5 * (pass + fail)
+		ok, err := ch.captures(cell, mid, slew, load)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ok {
+			pass = mid
+		} else {
+			fail = mid
+		}
+	}
+	setup = pass
+
+	// Hold: with the data launched well before the edge, find how soon
+	// after the edge it may be withdrawn. Margin here is the withdraw time
+	// relative to the edge (positive = after the edge).
+	passH := 120e-12
+	okH, err := ch.holds(cell, passH, slew, load)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !okH {
+		return setup, 0, fmt.Errorf("charlib: %s loses data even with %g s hold", cell.Name, passH)
+	}
+	failH := -60e-12
+	if okH, err = ch.holds(cell, failH, slew, load); err != nil {
+		return setup, 0, err
+	} else if okH {
+		return setup, failH, nil // hold constraint below the probe range
+	}
+	for i := 0; i < 9; i++ {
+		mid := 0.5 * (passH + failH)
+		ok, err := ch.holds(cell, mid, slew, load)
+		if err != nil {
+			return setup, 0, err
+		}
+		if ok {
+			passH = mid
+		} else {
+			failH = mid
+		}
+	}
+	return setup, passH, nil
+}
+
+// captures runs one setup trial: the D rise crosses 50%% exactly `margin`
+// before the clock's 50%% crossing; returns whether Q captured the 1.
+func (ch *charer) captures(cell *pdk.Cell, margin, slew, load float64) (bool, error) {
+	wfQ, edgeRef, period, err := ch.runConstraint(cell, slew, load, func(edgeRef float64) spice.SourceFn {
+		vdd := ch.cfg.Vdd
+		tD := edgeRef - margin // D 50% crossing
+		return spice.PWL([2]float64{0, 0}, [2]float64{tD - slew/2, 0}, [2]float64{tD + slew/2, vdd})
+	})
+	if err != nil {
+		return false, err
+	}
+	return sampleAfter(wfQ.wf, wfQ.out, edgeRef+period/2.2) > 0.9*ch.cfg.Vdd, nil
+}
+
+// holds runs one hold trial: D is high long before the edge and its fall
+// crosses 50%% exactly `margin` after the clock's 50%% crossing; returns
+// whether Q kept the 1.
+func (ch *charer) holds(cell *pdk.Cell, margin, slew, load float64) (bool, error) {
+	wfQ, edgeRef, period, err := ch.runConstraint(cell, slew, load, func(edgeRef float64) spice.SourceFn {
+		vdd := ch.cfg.Vdd
+		tD := edgeRef + margin // D-fall 50% crossing
+		return spice.PWL([2]float64{0, 0},
+			[2]float64{edgeRef - 150e-12, 0}, [2]float64{edgeRef - 150e-12 + slew, vdd},
+			[2]float64{tD - slew/2, vdd}, [2]float64{tD + slew/2, 0})
+	})
+	if err != nil {
+		return false, err
+	}
+	return sampleAfter(wfQ.wf, wfQ.out, edgeRef+period/2.2) > 0.9*ch.cfg.Vdd, nil
+}
+
+// runConstraint builds a single-edge capture testbench: CLK makes one
+// active transition whose 50% crossing sits at a fixed reference time;
+// mkD supplies the data stimulus relative to that reference.
+func (ch *charer) runConstraint(cell *pdk.Cell, slew, load float64,
+	mkD func(edgeRef float64) spice.SourceFn) (*arcWaveform, float64, float64, error) {
+	cfg := ch.cfg
+	c := spice.New(cfg.TempK)
+	vddN := c.Node("vdd")
+	c.AddVSource(vddN, spice.Ground, spice.DC(cfg.Vdd))
+	period := 500e-12
+	edge := 300e-12          // clock ramp start
+	edgeRef := edge + slew/2 // clock 50% crossing
+	hi, lo := cfg.Vdd, 0.0
+	if !cell.Edge {
+		hi, lo = 0.0, cfg.Vdd
+	}
+	pins := map[string]spice.NodeID{}
+	dFn := mkD(edgeRef)
+	for _, p := range cell.Inputs {
+		node := c.Node("in_" + p)
+		pins[p] = node
+		switch p {
+		case cell.Clock:
+			c.AddVSource(node, spice.Ground, spice.PWL(
+				[2]float64{0, lo}, [2]float64{edge, lo}, [2]float64{edge + slew, hi}))
+		case "D":
+			c.AddVSource(node, spice.Ground, dFn)
+		case "RN", "SN":
+			c.AddVSource(node, spice.Ground, spice.DC(cfg.Vdd))
+		case "SI", "SE":
+			c.AddVSource(node, spice.Ground, spice.DC(0))
+		default:
+			c.AddVSource(node, spice.Ground, spice.DC(0))
+		}
+	}
+	for _, o := range cell.Outputs {
+		n := c.Node("out_" + o)
+		pins[o] = n
+		c.AddCapacitor(n, spice.Ground, load)
+	}
+	if err := cell.Build(c, "ff", pins, vddN); err != nil {
+		return nil, 0, 0, err
+	}
+	tstop := edge + period
+	wf, err := c.Transient(tstop, tstop/1600)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &arcWaveform{wf: wf, out: wf.V("out_" + cell.Outputs[0])}, edgeRef, period, nil
+}
+
+func sampleAfter(wf *spice.Waveform, sig []float64, t float64) float64 {
+	idx := 0
+	for i, tt := range wf.Time {
+		if tt <= t {
+			idx = i
+		}
+	}
+	return sig[idx]
+}
+
+// AttachConstraints measures setup/hold for a flop and attaches them to its
+// liberty cell as scalar constraint arcs on the data pin.
+func AttachConstraints(lc *liberty.Cell, cell *pdk.Cell, cfg Config) error {
+	setup, hold, err := MeasureSetupHold(cell, cfg)
+	if err != nil {
+		return err
+	}
+	d := lc.FindPin("D")
+	if d == nil {
+		return fmt.Errorf("charlib: %s has no D pin", lc.Name)
+	}
+	scalar := func(v float64) *liberty.Table {
+		t := liberty.NewTable([]float64{cfg.Slews[len(cfg.Slews)/2]}, []float64{cfg.Loads[len(cfg.Loads)/2]})
+		t.Values[0][0] = v
+		return t
+	}
+	edgeType := "setup_rising"
+	holdType := "hold_rising"
+	if !cell.Edge {
+		edgeType, holdType = "setup_falling", "hold_falling"
+	}
+	d.Timings = append(d.Timings,
+		&liberty.Timing{RelatedPin: cell.Clock, Type: edgeType, CellRise: scalar(setup), CellFall: scalar(setup)},
+		&liberty.Timing{RelatedPin: cell.Clock, Type: holdType, CellRise: scalar(hold), CellFall: scalar(hold)},
+	)
+	return nil
+}

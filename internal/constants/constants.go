@@ -1,0 +1,27 @@
+// Package constants provides physical constants and unit helpers shared by
+// the device, SPICE, and characterization packages.
+package constants
+
+const (
+	// Boltzmann is the Boltzmann constant in J/K.
+	Boltzmann = 1.380649e-23
+	// ElectronCharge is the elementary charge in C.
+	ElectronCharge = 1.602176634e-19
+	// Eps0 is the vacuum permittivity in F/m.
+	Eps0 = 8.8541878128e-12
+	// EpsSiO2 is the relative permittivity of SiO2.
+	EpsSiO2 = 3.9
+	// EpsSi is the relative permittivity of silicon.
+	EpsSi = 11.7
+
+	// RoomTemp is the reference "room temperature" in K used throughout the
+	// paper (300 K).
+	RoomTemp = 300.0
+	// CryoTemp is the paper's cryogenic operating point in K (10 K).
+	CryoTemp = 10.0
+)
+
+// ThermalVoltage returns kT/q in volts for the given temperature in kelvin.
+func ThermalVoltage(tempK float64) float64 {
+	return Boltzmann * tempK / ElectronCharge
+}

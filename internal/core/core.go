@@ -1,0 +1,93 @@
+// Package core is the high-level entry point to the cryogenic-aware design
+// automation flow — the paper's primary contribution assembled from the
+// substrate packages. It wires together device modeling, library
+// characterization, and the power-first synthesis pipeline behind one small
+// API, so a user can go from "temperature + circuit" to "mapped netlist +
+// signoff power/delay" in a few calls.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/charlib"
+	"repro/internal/epfl"
+	"repro/internal/liberty"
+	"repro/internal/mapper"
+	"repro/internal/pdk"
+	"repro/internal/synth"
+	"repro/internal/testlib"
+)
+
+// Flow bundles a characterized corner with its match library, ready to
+// synthesize circuits.
+type Flow struct {
+	Library *liberty.Library
+	Cells   []*pdk.Cell
+	Matches *mapper.MatchLibrary
+}
+
+// Config controls flow construction.
+type Config struct {
+	// TempK is the operating temperature (300 for room, 10 for the paper's
+	// cryogenic corner).
+	TempK float64
+	// CachePath, when non-empty, persists/reuses the SPICE-characterized
+	// liberty file at this location.
+	CachePath string
+	// Synthetic skips SPICE characterization and uses the fast synthetic
+	// library (tests, smoke runs).
+	Synthetic bool
+	// Progress, when non-nil, receives characterization progress.
+	Progress func(done, total int)
+}
+
+// NewFlow characterizes (or loads) the standard-cell library at the given
+// corner and prepares the technology-mapping index.
+func NewFlow(cfg Config) (*Flow, error) {
+	if cfg.TempK == 0 {
+		cfg.TempK = 10
+	}
+	catalog := pdk.Catalog()
+	var lib *liberty.Library
+	var cells []*pdk.Cell
+	if cfg.Synthetic {
+		lib, cells = testlib.Build(catalog, testlib.Names(), cfg.TempK)
+	} else {
+		path := cfg.CachePath
+		if path == "" {
+			path = charlib.DefaultCachePath("build", cfg.TempK, len(catalog))
+		}
+		var err error
+		lib, err = charlib.CharacterizeLibraryCached(path, fmt.Sprintf("cryo%gk", cfg.TempK),
+			catalog, charlib.DefaultConfig(cfg.TempK), cfg.Progress)
+		if err != nil {
+			return nil, err
+		}
+		cells = catalog
+	}
+	ml, err := mapper.BuildMatchLibrary(lib, cells, 6)
+	if err != nil {
+		return nil, err
+	}
+	return &Flow{Library: lib, Cells: cells, Matches: ml}, nil
+}
+
+// Synthesize runs the paper's three-stage pipeline on a circuit under one
+// scenario.
+func (f *Flow) Synthesize(circuit string, sc synth.Scenario) (*synth.Result, error) {
+	g, err := epfl.Build(circuit)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Synthesize(g, f.Matches, synth.Options{Scenario: sc, Seed: 1})
+}
+
+// Compare evaluates all three scenarios on a circuit with the paper's
+// shared-clock normalization.
+func (f *Flow) Compare(circuit string) (*synth.Comparison, error) {
+	g, err := epfl.Build(circuit)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Compare(g, f.Matches, f.Library, synth.FlowOptions{Seed: 1})
+}

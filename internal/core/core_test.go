@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestSyntheticFlowEndToEnd(t *testing.T) {
+	flow, err := NewFlow(Config{TempK: 10, Synthetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flow.Synthesize("router", synth.CryoPAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.NumGates() == 0 {
+		t.Fatal("empty netlist from the facade flow")
+	}
+	cmp, err := flow.Compare("router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ClockPeriod <= 0 || cmp.Metrics[synth.BaselinePowerAware].Power == nil {
+		t.Fatalf("comparison incomplete: %+v", cmp)
+	}
+}
+
+func TestUnknownCircuit(t *testing.T) {
+	flow, err := NewFlow(Config{TempK: 300, Synthetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.Synthesize("nope", synth.BaselinePowerAware); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package device
+
+import (
+	"math"
+)
+
+// tempCache holds temperature-derived model quantities so that repeated
+// evaluations at a fixed simulation temperature (the common case inside a
+// SPICE run) avoid recomputing powers and exponentials.
+type tempCache struct {
+	temp   float64 // temperature this cache is valid for
+	vt     float64 // band-tail-limited thermal voltage
+	vth    float64 // zero-bias threshold at temp
+	mu     float64 // low-field mobility at temp
+	capF   float64 // gate-capacitance factor at temp
+	ispec0 float64 // 2*n*mu*Cox*(W/L)*vt^2 before Theta degradation
+	floorA float64 // leakage-floor amplitude (A)
+	floorK float64 // leakage-floor bias shape factor (1/V)
+}
+
+func (m *Model) cacheFor(tempK float64) *tempCache {
+	if m.tc != nil && m.tc.temp == tempK {
+		return m.tc
+	}
+	p := &m.P
+	c := &tempCache{temp: tempK}
+	c.vt = p.thermalVoltageEff(tempK)
+	c.vth = p.Vth(tempK)
+	c.mu = p.Mobility(tempK)
+	c.capF = p.GateCapFactor(tempK)
+	cox := p.CoxA * c.capF
+	c.ispec0 = 2 * p.N0 * c.mu * cox * (p.Weff() / p.L) * c.vt * c.vt
+	c.floorA = p.IFloor * p.Weff()
+	c.floorK = 1.5 / p.VddRef
+	m.tc = c
+	return c
+}
+
+// sigmoid is the logistic function, the derivative of ln1exp.
+func sigmoid(x float64) float64 {
+	if x > 40 {
+		return 1
+	}
+	if x < -40 {
+		return math.Exp(x)
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// derivs evaluates the n-oriented compact model (vds >= 0) returning the
+// current and its analytic partial derivatives with respect to vgs and vds.
+func (m *Model) derivs(vgs, vds, tempK float64) (f, fg, fd float64) {
+	p := &m.P
+	c := m.cacheFor(tempK)
+	n := p.N0
+	nvt := n * c.vt
+	vth := c.vth - p.DIBL*vds
+
+	u := (vgs - vth) / nvt
+	w := u - vds/c.vt
+	lf := ln1exp(u / 2)
+	lr := ln1exp(w / 2)
+	sf := sigmoid(u / 2)
+	sr := sigmoid(w / 2)
+	F := lf*lf - lr*lr
+
+	dudg := 1 / nvt
+	dudd := p.DIBL / nvt
+	dwdd := dudd - 1/c.vt
+
+	dFdg := (lf*sf - lr*sr) * dudg
+	dFdd := lf*sf*dudd - lr*sr*dwdd
+
+	// Vertical-field mobility degradation.
+	su := sigmoid(u)
+	vov := nvt * ln1exp(u)
+	D := 1 + p.Theta*vov
+	K := c.ispec0 / D
+	dKdg := -c.ispec0 * p.Theta * su / (D * D) // dvov/dvgs = su
+	dKdd := -c.ispec0 * p.Theta * su * p.DIBL / (D * D)
+
+	clm := 1 + p.Lambda*vds
+	// Leakage floor: GIDL/junction/gate components that do not freeze out.
+	// tanh keeps it odd in Vds (zero current at zero bias, source/drain
+	// symmetric) and saturating toward full bias.
+	th := math.Tanh(c.floorK * vds)
+	floor := c.floorA * th
+	dfloor := c.floorA * c.floorK * (1 - th*th)
+	f = K*F*clm + floor
+	fg = (dKdg*F + K*dFdg) * clm
+	fd = (dKdd*F+K*dFdd)*clm + K*F*p.Lambda + dfloor
+	return f, fg, fd
+}

@@ -1,0 +1,363 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constants"
+)
+
+func TestEffectiveTempLimits(t *testing.T) {
+	p := DefaultNParams()
+	if got := p.EffectiveTemp(300); math.Abs(got-300) > 3 {
+		t.Errorf("EffectiveTemp(300) = %v, want ~300", got)
+	}
+	if got := p.EffectiveTemp(0); math.Abs(got-p.TBand) > 1e-9 {
+		t.Errorf("EffectiveTemp(0) = %v, want TBand=%v", got, p.TBand)
+	}
+	if got := p.EffectiveTemp(-5); got < p.TBand {
+		t.Errorf("EffectiveTemp(-5) = %v, want clamped >= TBand", got)
+	}
+}
+
+func TestVthIncreasesTowardCryo(t *testing.T) {
+	for _, typ := range []Type{NFET, PFET} {
+		m := modelOf(typ)
+		v300 := m.P.Vth(300)
+		v77 := m.P.Vth(77)
+		v10 := m.P.Vth(10)
+		if !(v10 > v77 && v77 > v300) {
+			t.Errorf("%v: Vth not monotonically increasing toward cryo: 300K=%v 77K=%v 10K=%v", typ, v300, v77, v10)
+		}
+		// The paper and cryo literature report ~100 mV increase for FinFETs.
+		delta := v10 - v300
+		if delta < 0.05 || delta > 0.2 {
+			t.Errorf("%v: Vth(10K)-Vth(300K) = %v, want in [0.05, 0.2] V", typ, delta)
+		}
+		// Saturation: the change between 10 K and 4 K must be tiny compared
+		// with the change between 300 K and 77 K.
+		if sat := m.P.Vth(4) - v10; sat > 0.1*(v10-v300) {
+			t.Errorf("%v: Vth not saturating at deep cryo: dVth(4K-10K)=%v", typ, sat)
+		}
+	}
+}
+
+func TestSubthresholdSwing(t *testing.T) {
+	p := DefaultNParams()
+	ss300 := p.SubthresholdSwing(300)
+	if ss300 < 0.060 || ss300 > 0.080 {
+		t.Errorf("SS(300K) = %v V/dec, want ~60-80 mV/dec", ss300)
+	}
+	ss10 := p.SubthresholdSwing(10)
+	if ss10 < 0.004 || ss10 > 0.015 {
+		t.Errorf("SS(10K) = %v V/dec, want band-tail-limited ~4-15 mV/dec", ss10)
+	}
+	// Band tails must prevent the Boltzmann limit from being reached.
+	boltzmann10 := p.N0 * constants.ThermalVoltage(10) * math.Ln10
+	if ss10 < 2*boltzmann10 {
+		t.Errorf("SS(10K)=%v too close to Boltzmann limit %v: band tails missing", ss10, boltzmann10)
+	}
+}
+
+func TestMobilityImprovesAndSaturates(t *testing.T) {
+	for _, typ := range []Type{NFET, PFET} {
+		p := modelOf(typ).P
+		mu300 := p.Mobility(300)
+		mu10 := p.Mobility(10)
+		gain := mu10 / mu300
+		if gain < 1.3 || gain > 2.2 {
+			t.Errorf("%v: mobility gain at 10K = %v, want 1.3-2.2x (paper cites ~1.58x)", typ, gain)
+		}
+		// Surface roughness ceiling: mobility never exceeds MuSR.
+		if mu10 >= p.MuSR {
+			t.Errorf("%v: mobility %v exceeds surface-roughness limit %v", typ, mu10, p.MuSR)
+		}
+	}
+}
+
+func TestLeakageReduction(t *testing.T) {
+	const vdd = 0.7
+	for _, typ := range []Type{NFET, PFET} {
+		m := modelOf(typ)
+		off300 := m.OffCurrent(vdd, 300)
+		off10 := m.OffCurrent(vdd, 10)
+		if off300 <= 0 || off10 <= 0 {
+			t.Fatalf("%v: off currents must be positive: %v %v", typ, off300, off10)
+		}
+		ratio := off300 / off10
+		// "several orders of magnitude"; the floor bounds it from above.
+		if ratio < 100 || ratio > 1e9 {
+			t.Errorf("%v: Ioff(300K)/Ioff(10K) = %v, want within [1e2, 1e9]", typ, ratio)
+		}
+	}
+}
+
+func TestOnCurrentRoughlyConstant(t *testing.T) {
+	const vdd = 0.7
+	for _, typ := range []Type{NFET, PFET} {
+		m := modelOf(typ)
+		on300 := m.OnCurrent(vdd, 300)
+		on10 := m.OnCurrent(vdd, 10)
+		r := on10 / on300
+		// Fig 1(b,c): ON current "remains almost the same" — mobility gain
+		// partly cancels the Vth increase. Allow a modest window.
+		if r < 0.75 || r > 1.5 {
+			t.Errorf("%v: Ion(10K)/Ion(300K) = %v, want ~1 (0.75-1.5)", typ, r)
+		}
+		if on300 < 1e-6 || on300 > 1e-3 {
+			t.Errorf("%v: Ion(300K)=%v A implausible for a single fin", typ, on300)
+		}
+	}
+}
+
+func TestIonIoffRatio(t *testing.T) {
+	m := NewN(1)
+	on := m.OnCurrent(0.7, 300)
+	off := m.OffCurrent(0.7, 300)
+	if r := on / off; r < 1e3 || r > 1e8 {
+		t.Errorf("Ion/Ioff at 300K = %v, want a realistic 1e3-1e8", r)
+	}
+}
+
+func TestIdsSourceDrainSymmetry(t *testing.T) {
+	m := NewN(2)
+	for _, vg := range []float64{0.1, 0.35, 0.7} {
+		for _, vd := range []float64{0.05, 0.4, 0.7} {
+			// Swapping source and drain: Ids(vgs, -vds) must equal
+			// -Ids(vgs+vds measured from the new source, vds).
+			fwd := m.Ids(vg, vd, 300)
+			rev := m.Ids(vg-vd, -vd, 300)
+			if math.Abs(fwd+rev) > 1e-12+1e-9*math.Abs(fwd) {
+				t.Errorf("symmetry violated at vg=%v vd=%v: fwd=%v rev=%v", vg, vd, fwd, rev)
+			}
+		}
+	}
+}
+
+func TestPFETPolarity(t *testing.T) {
+	m := NewP(1)
+	// In normal PFET operation vgs, vds < 0 and the drain current is
+	// negative (current flows source->drain).
+	ids := m.Ids(-0.7, -0.7, 300)
+	if ids >= 0 {
+		t.Errorf("PFET Ids(-0.7,-0.7) = %v, want negative", ids)
+	}
+	// Off state.
+	off := m.Ids(0, -0.7, 300)
+	if off >= 0 {
+		t.Errorf("PFET off Ids = %v, want negative (leakage)", off)
+	}
+	if math.Abs(off) >= math.Abs(ids)/100 {
+		t.Errorf("PFET off current %v not << on current %v", off, ids)
+	}
+}
+
+func TestIdsMonotonicInVgs(t *testing.T) {
+	m := NewN(1)
+	for _, temp := range []float64{300, 77, 10} {
+		prev := -1.0
+		for vg := 0.0; vg <= 0.9; vg += 0.01 {
+			id := m.Ids(vg, 0.7, temp)
+			if id < prev {
+				t.Fatalf("T=%v: Ids decreasing in Vgs at vg=%v: %v < %v", temp, vg, id, prev)
+			}
+			// Strictly increasing once out of the leakage-floor regime.
+			if vg > 0.2 && id <= prev {
+				t.Fatalf("T=%v: Ids flat above floor at vg=%v", temp, vg)
+			}
+			prev = id
+		}
+	}
+}
+
+func TestIdsMonotonicInVds(t *testing.T) {
+	m := NewN(1)
+	prev := math.Inf(-1)
+	for vd := 0.0; vd <= 0.9; vd += 0.01 {
+		id := m.Ids(0.7, vd, 300)
+		if id < prev {
+			t.Fatalf("Ids not non-decreasing in Vds at vd=%v", vd)
+		}
+		prev = id
+	}
+}
+
+func TestConductancesPositive(t *testing.T) {
+	m := NewN(1)
+	for _, temp := range []float64{300, 10} {
+		for _, vg := range []float64{0.0, 0.2, 0.45, 0.7} {
+			for _, vd := range []float64{0.05, 0.35, 0.7} {
+				_, gm, gds := m.Conductances(vg, vd, temp)
+				if gm < 0 {
+					t.Errorf("gm < 0 at T=%v vg=%v vd=%v: %v", temp, vg, vd, gm)
+				}
+				if gds < 0 {
+					t.Errorf("gds < 0 at T=%v vg=%v vd=%v: %v", temp, vg, vd, gds)
+				}
+			}
+		}
+	}
+}
+
+func TestGateCapTemperature(t *testing.T) {
+	m := NewN(3)
+	c300 := m.GateCap(300)
+	c10 := m.GateCap(10)
+	if c10 >= c300 {
+		t.Errorf("gate cap must be slightly lower at 10K: %v >= %v", c10, c300)
+	}
+	if drop := 1 - c10/c300; drop > 0.10 {
+		t.Errorf("gate cap drop at 10K = %v, want < 10%%", drop)
+	}
+	// Sanity: single-digit fF per multi-fin device is wrong; expect ~0.1 fF/fin.
+	if c300 < 1e-17 || c300 > 1e-15 {
+		t.Errorf("GateCap(300K) = %v F implausible", c300)
+	}
+}
+
+func TestNFinScaling(t *testing.T) {
+	one := NewN(1)
+	four := NewN(4)
+	r := four.OnCurrent(0.7, 300) / one.OnCurrent(0.7, 300)
+	if math.Abs(r-4) > 0.05 {
+		t.Errorf("4-fin/1-fin on-current ratio = %v, want ~4", r)
+	}
+}
+
+func TestSubthresholdSlopeMatchesIV(t *testing.T) {
+	// The realized I-V curve's subthreshold slope must agree with the
+	// analytic SubthresholdSwing within ~15 %.
+	m := NewN(1)
+	for _, temp := range []float64{300, 77} {
+		vth := m.P.Vth(temp)
+		v1, v2 := vth-0.15, vth-0.10
+		floor := m.P.IFloor * m.P.Weff() * math.Tanh(1.5*0.05/m.P.VddRef)
+		i1 := m.Ids(v1, 0.05, temp) - floor
+		i2 := m.Ids(v2, 0.05, temp) - floor
+		if i1 <= 0 || i2 <= 0 {
+			t.Fatalf("T=%v: non-positive subthreshold currents %v %v", temp, i1, i2)
+		}
+		ssIV := (v2 - v1) / (math.Log10(i2) - math.Log10(i1))
+		ssModel := m.P.SubthresholdSwing(temp)
+		if math.Abs(ssIV-ssModel)/ssModel > 0.15 {
+			t.Errorf("T=%v: I-V slope %v vs analytic swing %v", temp, ssIV, ssModel)
+		}
+	}
+}
+
+func TestQuickIdsFinite(t *testing.T) {
+	m := NewN(2)
+	f := func(vgRaw, vdRaw, tRaw uint16) bool {
+		vg := float64(vgRaw)/65535*1.8 - 0.4
+		vd := float64(vdRaw)/65535*1.8 - 0.9
+		temp := 4 + float64(tRaw)/65535*396
+		id := m.Ids(vg, vd, temp)
+		return !math.IsNaN(id) && !math.IsInf(id, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIdsSignFollowsVds(t *testing.T) {
+	m := NewN(1)
+	f := func(vgRaw, vdRaw uint16) bool {
+		vg := float64(vgRaw) / 65535 * 0.9
+		vd := float64(vdRaw)/65535*1.4 - 0.7
+		id := m.Ids(vg, vd, 300)
+		if vd > 1e-6 {
+			return id > 0
+		}
+		if vd < -1e-6 {
+			return id < 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTemperatureContinuity(t *testing.T) {
+	// Ids must vary smoothly with temperature: no jumps bigger than a few
+	// percent per kelvin anywhere in the range.
+	m := NewN(1)
+	f := func(vgRaw, tRaw uint16) bool {
+		vg := float64(vgRaw) / 65535 * 0.8
+		temp := 10 + float64(tRaw)/65535*289
+		a := m.Ids(vg, 0.7, temp)
+		b := m.Ids(vg, 0.7, temp+0.5)
+		if a <= 0 || b <= 0 {
+			return false
+		}
+		return math.Abs(math.Log(b/a)) < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func modelOf(typ Type) *Model {
+	if typ == PFET {
+		return NewP(1)
+	}
+	return NewN(1)
+}
+
+func TestAnalyticDerivativesMatchNumeric(t *testing.T) {
+	const h = 1e-6
+	for _, m := range []*Model{NewN(2), NewP(2)} {
+		for _, temp := range []float64{300, 77, 10} {
+			for _, vg := range []float64{-0.2, 0, 0.2, 0.4, 0.7, -0.4, -0.7} {
+				for _, vd := range []float64{-0.7, -0.3, -0.05, 0, 0.05, 0.3, 0.7} {
+					ids, gm, gds := m.Conductances(vg, vd, temp)
+					if got := m.Ids(vg, vd, temp); got != ids {
+						t.Fatalf("Conductances current mismatch at %v,%v", vg, vd)
+					}
+					gmNum := (m.Ids(vg+h, vd, temp) - m.Ids(vg-h, vd, temp)) / (2 * h)
+					gdsNum := (m.Ids(vg, vd+h, temp) - m.Ids(vg, vd-h, temp)) / (2 * h)
+					scale := math.Abs(gmNum) + math.Abs(gdsNum) + 1e-9
+					if math.Abs(gm-gmNum) > 1e-4*scale+1e-12 {
+						t.Errorf("%v T=%v vg=%v vd=%v: gm analytic %v vs numeric %v", m.Type, temp, vg, vd, gm, gmNum)
+					}
+					if math.Abs(gds-gdsNum) > 1e-4*scale+1e-12 {
+						t.Errorf("%v T=%v vg=%v vd=%v: gds analytic %v vs numeric %v", m.Type, temp, vg, vd, gds, gdsNum)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestJunctionCapProportionalToGateCap(t *testing.T) {
+	m := NewN(2)
+	if r := m.JunctionCap(300) / m.GateCap(300); math.Abs(r-0.6) > 1e-9 {
+		t.Errorf("junction/gate cap ratio %v, want 0.6", r)
+	}
+}
+
+func TestWeffScaling(t *testing.T) {
+	p := DefaultNParams()
+	w1 := p.Weff()
+	p.NFin = 3
+	if r := p.Weff() / w1; math.Abs(r-3) > 1e-12 {
+		t.Errorf("Weff fin scaling = %v, want 3", r)
+	}
+	p.NFin = 0 // clamps to 1
+	if p.Weff() != w1 {
+		t.Error("NFin=0 should clamp to one fin")
+	}
+}
+
+func TestTempCacheConsistency(t *testing.T) {
+	// Alternating temperatures must not leak cached values across calls.
+	m := NewN(1)
+	a1 := m.Ids(0.5, 0.5, 300)
+	b1 := m.Ids(0.5, 0.5, 10)
+	a2 := m.Ids(0.5, 0.5, 300)
+	b2 := m.Ids(0.5, 0.5, 10)
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("temperature cache corrupted results: %v/%v %v/%v", a1, a2, b1, b2)
+	}
+}

@@ -1,0 +1,238 @@
+package epfl
+
+import "repro/internal/aig"
+
+// Arithmetic-class benchmarks. Widths are scaled down from the original
+// suite (which e.g. uses 128-bit adders and 64x64 multipliers) to keep the
+// end-to-end SPICE-characterized flow tractable on one machine; the
+// structure (ripple/array/shift/CORDIC) matches the originals' intent.
+
+// buildAdder: 128-bit ripple-carry adder (same width as EPFL's adder).
+func buildAdder() *aig.AIG { return buildAdderN(128) }
+
+func buildAdderN(n int) *aig.AIG {
+	g := aig.New("adder")
+	a := inputWord(g, "a", n)
+	b := inputWord(g, "b", n)
+	sum, carry := addWords(g, a, b, aig.False)
+	outputWord(g, "f", sum)
+	g.AddPO(carry, "cout")
+	return g
+}
+
+// buildBar: 64-bit barrel shifter with a 6-bit shift amount (EPFL bar is
+// 128-bit/7-bit).
+func buildBar() *aig.AIG { return buildBarN(64, 6) }
+
+func buildBarN(w, shBits int) *aig.AIG {
+	g := aig.New("bar")
+	data := inputWord(g, "d", w)
+	sh := inputWord(g, "s", shBits)
+	out := barrelShiftRight(g, data, sh)
+	outputWord(g, "q", out)
+	return g
+}
+
+// buildDiv: 16/16-bit restoring divider producing quotient and remainder
+// (EPFL div is 64-bit).
+func buildDiv() *aig.AIG {
+	g := aig.New("div")
+	const n = 16
+	num := inputWord(g, "n", n)
+	den := inputWord(g, "d", n)
+	rem := constWord(n+1, 0)
+	quo := make(Word, n)
+	denExt := padWord(den, n+1)
+	for i := n - 1; i >= 0; i-- {
+		// Shift remainder left, bring in next numerator bit.
+		shifted := make(Word, n+1)
+		shifted[0] = num[i]
+		for k := 1; k <= n; k++ {
+			shifted[k] = rem[k-1]
+		}
+		diff, fits := subWords(g, shifted, denExt)
+		quo[i] = fits
+		rem = muxWords(g, fits, diff, shifted)
+	}
+	outputWord(g, "q", quo)
+	outputWord(g, "r", rem[:n])
+	return g
+}
+
+// buildHyp: hypotenuse sqrt(a^2+b^2) over 12-bit inputs (EPFL hyp is
+// 128-bit).
+func buildHyp() *aig.AIG {
+	g := aig.New("hyp")
+	const n = 12
+	a := inputWord(g, "a", n)
+	b := inputWord(g, "b", n)
+	a2 := mulWords(g, a, a)
+	b2 := mulWords(g, b, b)
+	sum, c := addWords(g, a2, b2, aig.False)
+	sum = append(sum, c)                    // 2n+1 bits
+	root := isqrt(g, padWord(sum, 2*(n+1))) // n+1 result bits
+	outputWord(g, "h", root)
+	return g
+}
+
+// isqrt computes the integer square root of a 2m-bit word, returning m
+// bits, via the non-restoring digit recurrence.
+func isqrt(g *aig.AIG, x Word) Word {
+	m := len(x) / 2
+	root := constWord(m, 0)
+	rem := constWord(2*m, 0)
+	for i := m - 1; i >= 0; i-- {
+		// rem = rem<<2 | next two bits of x.
+		shifted := make(Word, 2*m)
+		shifted[0] = x[2*i]
+		shifted[1] = x[2*i+1]
+		for k := 2; k < 2*m; k++ {
+			shifted[k] = rem[k-2]
+		}
+		// trial = (root << 2) | 01  at scale: candidate subtrahend 4*root+1
+		trial := make(Word, 2*m)
+		trial[0] = aig.True
+		trial[1] = aig.False
+		for k := 2; k < 2*m; k++ {
+			if k-2 < m {
+				trial[k] = root[k-2]
+			} else {
+				trial[k] = aig.False
+			}
+		}
+		diff, fits := subWords(g, shifted, trial)
+		rem = muxWords(g, fits, diff, shifted)
+		// root = root<<1 | fits.
+		nr := make(Word, m)
+		nr[0] = fits
+		for k := 1; k < m; k++ {
+			nr[k] = root[k-1]
+		}
+		root = nr
+	}
+	return root
+}
+
+// buildLog2: integer+fractional base-2 logarithm of a 32-bit input: a
+// leading-one detector gives the integer part, a barrel normalizer the
+// fraction (EPFL log2 is a 32-bit full-precision design).
+func buildLog2() *aig.AIG {
+	g := aig.New("log2")
+	const n = 32
+	x := inputWord(g, "x", n)
+	// Leading-one position: priority scan from the top.
+	pos := constWord(6, 0)
+	found := aig.False
+	for i := n - 1; i >= 0; i-- {
+		hit := g.And(x[i], found.Not())
+		pos = muxWords(g, hit, constWord(6, uint64(i)), pos)
+		found = g.Or(found, x[i])
+	}
+	// Normalize: shift left so the leading one reaches bit n-1, then the
+	// next bits form the mantissa/fraction.
+	inv := make(Word, 6)
+	shiftAmt := constWord(6, uint64(n-1))
+	var borrow aig.Lit
+	invW, _ := subWords(g, shiftAmt, pos)
+	_ = borrow
+	copy(inv, invW)
+	norm := barrelShiftLeft(g, x, inv)
+	frac := norm[n-9 : n-1] // 8 fraction bits below the leading one
+	outputWord(g, "int", pos)
+	outputWord(g, "frac", frac)
+	g.AddPO(found, "valid")
+	return g
+}
+
+// buildMax: maximum of four 32-bit words plus the argmax index (EPFL max
+// compares 128-bit words).
+func buildMax() *aig.AIG {
+	g := aig.New("max")
+	const n = 32
+	words := make([]Word, 4)
+	for i := range words {
+		words[i] = inputWord(g, "w"+itoa(i), n)
+	}
+	ge01 := ge(g, words[0], words[1])
+	m01 := muxWords(g, ge01, words[0], words[1])
+	ge23 := ge(g, words[2], words[3])
+	m23 := muxWords(g, ge23, words[2], words[3])
+	geF := ge(g, m01, m23)
+	mx := muxWords(g, geF, m01, m23)
+	outputWord(g, "max", mx)
+	// argmax: 2-bit index.
+	idx0 := g.Mux(geF, ge01.Not(), ge23.Not())
+	idx1 := geF.Not()
+	g.AddPO(idx0, "idx[0]")
+	g.AddPO(idx1, "idx[1]")
+	return g
+}
+
+// buildMultiplier: 16x16 array multiplier (EPFL multiplier is 64x64).
+func buildMultiplier() *aig.AIG { return buildMultiplierN(16) }
+
+func buildMultiplierN(n int) *aig.AIG {
+	g := aig.New("multiplier")
+	a := inputWord(g, "a", n)
+	b := inputWord(g, "b", n)
+	p := mulWords(g, a, b)
+	outputWord(g, "p", p)
+	return g
+}
+
+// cordicAtan are atan(2^-i) angles in 16-bit fixed point with 14 fraction
+// bits (units: radians).
+var cordicAtan = []uint64{
+	12868, 7596, 4014, 2037, 1023, 512, 256, 128, 64, 32, 16, 8,
+}
+
+// buildSin: CORDIC sine of a 14-bit angle in [0, 1) rad (14 fraction
+// bits), 18-bit fixed-point datapath, 12 iterations (EPFL sin is a 24-bit
+// design).
+func buildSin() *aig.AIG {
+	g := aig.New("sin")
+	const w = 18 // datapath width (two's complement)
+	angle := inputWord(g, "a", 14)
+	z := padWord(angle, w) // angle accumulator, 14 fraction bits
+	// Start vector: x = K (CORDIC gain compensation), y = 0.
+	// K = 0.607252935 * 2^14 = 9949.
+	x := constWord(w, 9949)
+	y := constWord(w, 0)
+	for i := 0; i < 12; i++ {
+		// d = sign of z (MSB: 1 means negative in two's complement).
+		neg := z[w-1]
+		xs := shiftRightArith(x, i)
+		ys := shiftRightArith(y, i)
+		xAdd, _ := addWords(g, x, ys, aig.False)
+		xSub, _ := subWords(g, x, ys)
+		yAdd, _ := addWords(g, y, xs, aig.False)
+		ySub, _ := subWords(g, y, xs)
+		zAdd, _ := addWords(g, z, constWord(w, cordicAtan[i]), aig.False)
+		zSub, _ := subWords(g, z, constWord(w, cordicAtan[i]))
+		x = muxWords(g, neg, xAdd, xSub)
+		y = muxWords(g, neg, ySub, yAdd)
+		z = muxWords(g, neg, zAdd, zSub)
+	}
+	outputWord(g, "sin", y[:16])
+	return g
+}
+
+// buildSqrt: integer square root of a 24-bit input (EPFL sqrt is 128-bit).
+func buildSqrt() *aig.AIG { return buildSqrtN(24) }
+
+func buildSqrtN(bits int) *aig.AIG {
+	g := aig.New("sqrt")
+	x := inputWord(g, "x", bits)
+	outputWord(g, "r", isqrt(g, x))
+	return g
+}
+
+// buildSquare: 16-bit squarer (EPFL square is 64-bit).
+func buildSquare() *aig.AIG { return buildSquareN(16) }
+
+func buildSquareN(n int) *aig.AIG {
+	g := aig.New("square")
+	a := inputWord(g, "a", n)
+	outputWord(g, "s", mulWords(g, a, a))
+	return g
+}

@@ -1,0 +1,344 @@
+package epfl
+
+import "repro/internal/aig"
+
+// Control-class benchmarks. The original EPFL control circuits come from
+// real IP (I2C, memory controller, router, arbiter...); the generators here
+// synthesize control logic of the same flavor and comparable structure —
+// priority chains, decoders, round-robin masking, next-state functions —
+// at reduced size.
+
+// buildArbiter: round-robin arbiter over 64 requestors: a 6-bit rotating
+// pointer masks the request vector; the highest-priority masked (or, if
+// none, unmasked) request wins. One-hot grant outputs.
+func buildArbiter() *aig.AIG {
+	g := aig.New("arbiter")
+	const n = 64
+	req := inputWord(g, "req", n)
+	ptr := inputWord(g, "ptr", 6)
+	// thermometer mask: mask[i] = (i >= ptr).
+	mask := make(Word, n)
+	for i := 0; i < n; i++ {
+		mask[i] = ge(g, constWord(6, uint64(i)), ptr)
+	}
+	masked := make(Word, n)
+	for i := range masked {
+		masked[i] = g.And(req[i], mask[i])
+	}
+	grantM := priorityOneHot(g, masked)
+	grantU := priorityOneHot(g, req)
+	anyMasked := g.Ors(masked...)
+	grant := muxWords(g, anyMasked, grantM, grantU)
+	outputWord(g, "gnt", grant)
+	g.AddPO(g.Ors(req...), "busy")
+	return g
+}
+
+// priorityOneHot returns the one-hot vector of the lowest-index set bit.
+func priorityOneHot(g *aig.AIG, req Word) Word {
+	out := make(Word, len(req))
+	noneBefore := aig.True
+	for i := range req {
+		out[i] = g.And(req[i], noneBefore)
+		noneBefore = g.And(noneBefore, req[i].Not())
+	}
+	return out
+}
+
+// buildCavlc: CAVLC-flavored coefficient-token encoder: counts of total
+// coefficients and trailing ones select a variable-length code via nested
+// range comparisons (the original decodes H.264 CAVLC tables).
+func buildCavlc() *aig.AIG {
+	g := aig.New("cavlc")
+	total := inputWord(g, "tc", 5) // total coefficients 0..16
+	ones := inputWord(g, "t1", 2)  // trailing ones 0..3
+	nc := inputWord(g, "nc", 3)    // context
+	// Code length: base from total-coeff ranges, adjusted by context and
+	// trailing ones (piecewise function realized with comparators).
+	len1 := ge(g, total, constWord(5, 3))
+	len2 := ge(g, total, constWord(5, 6))
+	len3 := ge(g, total, constWord(5, 11))
+	ctxBig := ge(g, nc, constWord(3, 4))
+	base := constWord(5, 1)
+	base = muxWords(g, len1, constWord(5, 6), base)
+	base = muxWords(g, len2, constWord(5, 9), base)
+	base = muxWords(g, len3, constWord(5, 13), base)
+	adj, _ := subWords(g, base, padWord(ones, 5))
+	length := muxWords(g, ctxBig, constWord(5, 6), adj)
+	// Code value: arithmetic mix of the fields.
+	t16 := mulWords(g, padWord(total, 5), constWord(5, 2))
+	code, _ := addWords(g, padWord(t16[:8], 8), padWord(ones, 8), aig.False)
+	code = barrelShiftLeft(g, code, padWord(nc, 2))
+	outputWord(g, "len", length)
+	outputWord(g, "code", code)
+	return g
+}
+
+// buildCtrl: instruction-decode control block: a 7-bit opcode drives 26
+// control outputs through shared decode logic (mirrors the original's
+// opcode-decoder role).
+func buildCtrl() *aig.AIG {
+	g := aig.New("ctrl")
+	op := inputWord(g, "op", 7)
+	// Decode classes.
+	isLoad := matchPattern(g, op, 0b0000011, 0b1111111)
+	isStore := matchPattern(g, op, 0b0100011, 0b1111111)
+	isALU := matchPattern(g, op, 0b0110011, 0b1011111)
+	isImm := matchPattern(g, op, 0b0010011, 0b1111111)
+	isBranch := matchPattern(g, op, 0b1100011, 0b1111111)
+	isJump := matchPattern(g, op, 0b1101111, 0b1101111)
+	outs := []aig.Lit{
+		isLoad, isStore, isALU, isImm, isBranch, isJump,
+		g.Or(isLoad, isImm), g.Or(isALU, isImm),
+		g.And(isBranch.Not(), isJump.Not()),
+		g.Ors(isLoad, isStore),
+		g.And(isALU, op[5]), g.And(isALU, op[6].Not()),
+	}
+	for i, o := range outs {
+		g.AddPO(o, "c"+itoa(i))
+	}
+	// Write-enable vector: 14 registers gated by decode.
+	for i := 0; i < 14; i++ {
+		en := g.And(g.Or(isALU, isLoad), g.Xor(op[i%7], op[(i+3)%7]))
+		g.AddPO(en, "we"+itoa(i))
+	}
+	return g
+}
+
+func matchPattern(g *aig.AIG, w Word, val, mask uint64) aig.Lit {
+	m := aig.True
+	for i := range w {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		bit := w[i]
+		if val&(1<<uint(i)) == 0 {
+			bit = bit.Not()
+		}
+		m = g.And(m, bit)
+	}
+	return m
+}
+
+// buildDec: 8-to-256 decoder with two-level predecode, the same function
+// as EPFL's dec.
+func buildDec() *aig.AIG {
+	g := aig.New("dec")
+	a := inputWord(g, "a", 8)
+	lo := decode4(g, a[:4])
+	hi := decode4(g, a[4:])
+	for i := 0; i < 256; i++ {
+		g.AddPO(g.And(lo[i&15], hi[i>>4]), "d"+itoa(i))
+	}
+	return g
+}
+
+func decode4(g *aig.AIG, a Word) []aig.Lit {
+	out := make([]aig.Lit, 16)
+	for i := range out {
+		bits := make([]aig.Lit, 4)
+		for k := 0; k < 4; k++ {
+			bits[k] = a[k]
+			if i&(1<<uint(k)) == 0 {
+				bits[k] = bits[k].Not()
+			}
+		}
+		out[i] = g.Ands(bits...)
+	}
+	return out
+}
+
+// buildI2c: I2C-controller-flavored next-state/status logic: command
+// decode, bit counter increment, shift-register step, and status flags as
+// pure combinational next-state functions.
+func buildI2c() *aig.AIG {
+	g := aig.New("i2c")
+	cmd := inputWord(g, "cmd", 4)
+	state := inputWord(g, "st", 5)
+	cnt := inputWord(g, "cnt", 4)
+	shreg := inputWord(g, "sh", 8)
+	sdaIn := g.AddPI("sda")
+	sclIn := g.AddPI("scl")
+
+	isStart := matchPattern(g, cmd, 0b0001, 0b1111)
+	isStop := matchPattern(g, cmd, 0b0010, 0b1111)
+	isRead := matchPattern(g, cmd, 0b0100, 0b1111)
+	isWrite := matchPattern(g, cmd, 0b1000, 0b1111)
+
+	idle := equalWords(g, state, constWord(5, 0))
+	// Next state: priority network over command/state/counter.
+	cntDone := equalWords(g, cnt, constWord(4, 8))
+	next := muxWords(g, isStart, constWord(5, 1), state)
+	next = muxWords(g, g.And(isWrite, idle.Not()), constWord(5, 9), next)
+	next = muxWords(g, g.And(isRead, idle.Not()), constWord(5, 17), next)
+	next = muxWords(g, g.And(cntDone, isStop), constWord(5, 0), next)
+	// Counter increment when clock high and not idle.
+	inc, _ := addWords(g, cnt, constWord(4, 1), aig.False)
+	nCnt := muxWords(g, g.And(sclIn, idle.Not()), inc, cnt)
+	// Shift register: shift in SDA on reads, hold otherwise.
+	shifted := make(Word, 8)
+	shifted[0] = sdaIn
+	for k := 1; k < 8; k++ {
+		shifted[k] = shreg[k-1]
+	}
+	nSh := muxWords(g, isRead, shifted, shreg)
+	outputWord(g, "nst", next)
+	outputWord(g, "ncnt", nCnt)
+	outputWord(g, "nsh", nSh)
+	g.AddPO(g.And(cntDone, sclIn), "ack")
+	g.AddPO(g.Ors(isStart, isStop, isRead, isWrite), "active")
+	return g
+}
+
+// buildInt2float: converts a 12-bit unsigned integer to an 8-bit float
+// (4-bit exponent, 4-bit mantissa) with truncation — the same conversion
+// job as EPFL's int2float (which is 11-bit to 7-bit).
+func buildInt2float() *aig.AIG {
+	g := aig.New("int2float")
+	const n = 12
+	x := inputWord(g, "x", n)
+	// Leading-one position.
+	pos := constWord(4, 0)
+	found := aig.False
+	for i := n - 1; i >= 0; i-- {
+		hit := g.And(x[i], found.Not())
+		pos = muxWords(g, hit, constWord(4, uint64(i)), pos)
+		found = g.Or(found, x[i])
+	}
+	// Mantissa: the 4 bits below the leading one, via left-normalization.
+	shAmt, _ := subWords(g, constWord(4, n-1), pos)
+	norm := barrelShiftLeft(g, x, shAmt)
+	mant := norm[n-5 : n-1]
+	// Exponent = pos (zero when input is zero).
+	exp := muxWords(g, found, pos, constWord(4, 0))
+	outputWord(g, "exp", exp)
+	for i, m := range mant {
+		g.AddPO(g.And(m, found), "man["+itoa(i)+"]")
+	}
+	return g
+}
+
+// buildMemCtrl: memory-controller-flavored logic: bank address decode, FIFO
+// occupancy compare, refresh urgency priority, and a command mux over four
+// banks with queued requests (the original is a full DDR controller's
+// combinational core).
+func buildMemCtrl() *aig.AIG {
+	g := aig.New("mem_ctrl")
+	const banks = 8
+	addr := inputWord(g, "addr", 16)
+	refCnt := inputWord(g, "ref", 8)
+	var reqs []Word
+	var occ []Word
+	for b := 0; b < banks; b++ {
+		reqs = append(reqs, inputWord(g, "q"+itoa(b), 6))
+		occ = append(occ, inputWord(g, "o"+itoa(b), 4))
+	}
+	rowOpen := inputWord(g, "row", banks)
+
+	bankSel := decodeBits(g, addr[13:16])
+	refUrgent := ge(g, refCnt, constWord(8, 200))
+	// Per-bank: ready when queue nonempty and occupancy below threshold.
+	ready := make(Word, banks)
+	for b := 0; b < banks; b++ {
+		nonEmpty := equalWords(g, reqs[b], constWord(6, 0)).Not()
+		room := ge(g, constWord(4, 12), occ[b])
+		ready[b] = g.Ands(nonEmpty, room, refUrgent.Not())
+	}
+	grant := priorityOneHot(g, ready)
+	// Command: activate if row closed, read/write if open.
+	var rowHit aig.Lit = aig.False
+	for b := 0; b < banks; b++ {
+		rowHit = g.Or(rowHit, g.And(grant[b], rowOpen[b]))
+	}
+	// Selected queue depth.
+	depth := onehotMux(g, grant, reqs)
+	outputWord(g, "gnt", grant)
+	outputWord(g, "depth", depth)
+	outputWord(g, "bsel", bankSel)
+	g.AddPO(rowHit, "rowhit")
+	g.AddPO(refUrgent, "refresh")
+	g.AddPO(g.Ors(ready...), "anyreq")
+	return g
+}
+
+func decodeBits(g *aig.AIG, a Word) Word {
+	n := 1 << uint(len(a))
+	out := make(Word, n)
+	for i := 0; i < n; i++ {
+		bits := make([]aig.Lit, len(a))
+		for k := range a {
+			bits[k] = a[k]
+			if i&(1<<uint(k)) == 0 {
+				bits[k] = bits[k].Not()
+			}
+		}
+		out[i] = g.Ands(bits...)
+	}
+	return out
+}
+
+// buildPriority: 128-bit priority encoder producing the index of the
+// highest-priority request plus a valid flag (EPFL priority is 128-bit).
+func buildPriority() *aig.AIG { return buildPriorityN(128) }
+
+func buildPriorityN(n int) *aig.AIG {
+	g := aig.New("priority")
+	idxBits := 1
+	for (1 << uint(idxBits)) < n {
+		idxBits++
+	}
+	req := inputWord(g, "req", n)
+	idx := constWord(idxBits, 0)
+	found := aig.False
+	for i := n - 1; i >= 0; i-- {
+		hit := g.And(req[i], found.Not())
+		idx = muxWords(g, hit, constWord(idxBits, uint64(i)), idx)
+		found = g.Or(found, req[i])
+	}
+	outputWord(g, "idx", idx)
+	g.AddPO(found, "valid")
+	return g
+}
+
+// buildRouter: XY mesh-router route computation plus output-port
+// arbitration for five input ports (the original is a NoC router's
+// combinational core).
+func buildRouter() *aig.AIG {
+	g := aig.New("router")
+	myX := inputWord(g, "mx", 4)
+	myY := inputWord(g, "my", 4)
+	dstX := inputWord(g, "dx", 4)
+	dstY := inputWord(g, "dy", 4)
+	req := inputWord(g, "req", 5)
+	xEq := equalWords(g, myX, dstX)
+	yEq := equalWords(g, myY, dstY)
+	xLess := ge(g, dstX, myX)
+	yLess := ge(g, dstY, myY)
+	// XY routing: go X first, then Y, else local.
+	east := g.And(xEq.Not(), xLess)
+	west := g.And(xEq.Not(), xLess.Not())
+	north := g.Ands(xEq, yEq.Not(), yLess)
+	south := g.Ands(xEq, yEq.Not(), yLess.Not())
+	local := g.And(xEq, yEq)
+	route := Word{east, west, north, south, local}
+	grant := priorityOneHot(g, req)
+	out := make(Word, 5)
+	for i := range out {
+		out[i] = g.And(route[i], g.Ors(grant...))
+	}
+	outputWord(g, "port", out)
+	outputWord(g, "gnt", grant)
+	return g
+}
+
+// buildVoter: majority voter over 101 inputs via a popcount tree and a
+// threshold comparison (EPFL voter has 1001 inputs).
+func buildVoter() *aig.AIG { return buildVoterN(101) }
+
+func buildVoterN(n int) *aig.AIG {
+	g := aig.New("voter")
+	in := inputWord(g, "v", n)
+	count := popcountWord(g, in)
+	g.AddPO(ge(g, count, constWord(len(count), uint64((n+1)/2))), "maj")
+	return g
+}

@@ -1,0 +1,586 @@
+package epfl
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aig"
+)
+
+// evalBus drives named buses ("a" -> value) and returns output buses
+// collected by prefix.
+func evalBus(t *testing.T, g *aig.AIG, in map[string]uint64) map[string]uint64 {
+	t.Helper()
+	bits := make([]bool, g.NumPIs())
+	for i := 0; i < g.NumPIs(); i++ {
+		name := g.PIName(i)
+		base, idx := splitBus(name)
+		v, ok := in[base]
+		if !ok {
+			continue
+		}
+		bits[i] = v&(1<<uint(idx)) != 0
+	}
+	outBits := g.Eval(bits)
+	out := make(map[string]uint64)
+	for i := 0; i < g.NumPOs(); i++ {
+		base, idx := splitBus(g.POName(i))
+		if outBits[i] {
+			out[base] |= 1 << uint(idx)
+		}
+	}
+	return out
+}
+
+func splitBus(name string) (string, int) {
+	i := strings.IndexByte(name, '[')
+	if i < 0 {
+		return name, 0
+	}
+	idx := 0
+	for _, c := range name[i+1 : len(name)-1] {
+		idx = idx*10 + int(c-'0')
+	}
+	return name[:i], idx
+}
+
+func TestSuiteComplete(t *testing.T) {
+	gens := Suite()
+	if len(gens) != 20 {
+		t.Fatalf("suite has %d circuits, want 20", len(gens))
+	}
+	var arith, ctrl int
+	for _, gen := range gens {
+		switch gen.Class {
+		case Arithmetic:
+			arith++
+		case Control:
+			ctrl++
+		}
+	}
+	if arith != 10 || ctrl != 10 {
+		t.Errorf("split %d/%d, want 10/10", arith, ctrl)
+	}
+	if _, err := Build("adder"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Build("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestCircuitSizes(t *testing.T) {
+	for _, gen := range Suite() {
+		g := gen.Build()
+		n := g.NumNodes()
+		if n < 50 {
+			t.Errorf("%s: only %d AIG nodes — too trivial for a benchmark", gen.Name, n)
+		}
+		if n > 60000 {
+			t.Errorf("%s: %d AIG nodes — exceeds the scaled budget", gen.Name, n)
+		}
+		if g.NumPOs() == 0 || g.NumPIs() == 0 {
+			t.Errorf("%s: %d PIs / %d POs", gen.Name, g.NumPIs(), g.NumPOs())
+		}
+	}
+}
+
+func TestAdder(t *testing.T) {
+	g := buildAdder()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		a := rng.Uint64() >> 1 // keep within 63 bits to check the carry chain
+		b := rng.Uint64() >> 1
+		out := evalBus(t, g, map[string]uint64{"a": a, "b": b})
+		if out["f"] != a+b {
+			t.Fatalf("adder(%d,%d) = %d, want %d", a, b, out["f"], a+b)
+		}
+	}
+	// Carry propagation across the low 64 bits.
+	out := evalBus(t, g, map[string]uint64{"a": ^uint64(0), "b": 1})
+	if out["f"] != 0 {
+		t.Errorf("low sum = %d, want 0 (carry out of word)", out["f"])
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	g := buildBar()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		d := rng.Uint64()
+		s := uint64(rng.Intn(64))
+		out := evalBus(t, g, map[string]uint64{"d": d, "s": s})
+		if out["q"] != d>>s {
+			t.Fatalf("bar(%x >> %d) = %x, want %x", d, s, out["q"], d>>s)
+		}
+	}
+}
+
+func TestDivider(t *testing.T) {
+	g := buildDiv()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		n := uint64(rng.Intn(1 << 16))
+		d := uint64(1 + rng.Intn(1<<16-1))
+		out := evalBus(t, g, map[string]uint64{"n": n, "d": d})
+		if out["q"] != n/d || out["r"] != n%d {
+			t.Fatalf("div(%d,%d) = q%d r%d, want q%d r%d", n, d, out["q"], out["r"], n/d, n%d)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	g := buildSqrt()
+	rng := rand.New(rand.NewSource(4))
+	check := func(x uint64) {
+		out := evalBus(t, g, map[string]uint64{"x": x})
+		want := uint64(math.Sqrt(float64(x)))
+		for (want+1)*(want+1) <= x {
+			want++
+		}
+		for want*want > x {
+			want--
+		}
+		if out["r"] != want {
+			t.Fatalf("sqrt(%d) = %d, want %d", x, out["r"], want)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		check(uint64(rng.Intn(1 << 24)))
+	}
+	check(0)
+	check(1<<24 - 1)
+}
+
+func TestHyp(t *testing.T) {
+	g := buildHyp()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		a := uint64(rng.Intn(1 << 12))
+		b := uint64(rng.Intn(1 << 12))
+		out := evalBus(t, g, map[string]uint64{"a": a, "b": b})
+		sum := a*a + b*b
+		want := uint64(math.Sqrt(float64(sum)))
+		for (want+1)*(want+1) <= sum {
+			want++
+		}
+		for want*want > sum {
+			want--
+		}
+		if out["h"] != want {
+			t.Fatalf("hyp(%d,%d) = %d, want %d", a, b, out["h"], want)
+		}
+	}
+}
+
+func TestMultiplierAndSquare(t *testing.T) {
+	gm := buildMultiplier()
+	gs := buildSquare()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		a := uint64(rng.Intn(1 << 16))
+		b := uint64(rng.Intn(1 << 16))
+		out := evalBus(t, gm, map[string]uint64{"a": a, "b": b})
+		if out["p"] != a*b {
+			t.Fatalf("mult(%d,%d) = %d, want %d", a, b, out["p"], a*b)
+		}
+		sq := evalBus(t, gs, map[string]uint64{"a": a})
+		if sq["s"] != a*a {
+			t.Fatalf("square(%d) = %d, want %d", a, sq["s"], a*a)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	g := buildMax()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		w := []uint64{
+			uint64(rng.Uint32()), uint64(rng.Uint32()),
+			uint64(rng.Uint32()), uint64(rng.Uint32()),
+		}
+		out := evalBus(t, g, map[string]uint64{"w0": w[0], "w1": w[1], "w2": w[2], "w3": w[3]})
+		want := w[0]
+		wantIdx := 0
+		for k, v := range w {
+			if v > want {
+				want, wantIdx = v, k
+			}
+		}
+		if out["max"] != want {
+			t.Fatalf("max(%v) = %d, want %d", w, out["max"], want)
+		}
+		if w[wantIdx] != w[out["idx"]] {
+			t.Fatalf("argmax(%v) = %d (value %d), want value %d", w, out["idx"], w[out["idx"]], want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	g := buildLog2()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 40; i++ {
+		x := uint64(rng.Uint32())
+		if x == 0 {
+			continue
+		}
+		out := evalBus(t, g, map[string]uint64{"x": x})
+		wantInt := uint64(63 - leadingZeros64(x) - 32)
+		wantInt = uint64(intLog2(x))
+		if out["int"] != wantInt {
+			t.Fatalf("log2(%d).int = %d, want %d", x, out["int"], wantInt)
+		}
+		if out["valid"] != 1 {
+			t.Fatalf("valid = %d", out["valid"])
+		}
+		// Fraction: top 8 bits after the leading one.
+		shift := 31 - intLog2(x)
+		norm := (x << uint(shift)) & 0xFFFFFFFF
+		wantFrac := (norm >> 23) & 0xFF
+		if out["frac"] != wantFrac {
+			t.Fatalf("log2(%d).frac = %x, want %x", x, out["frac"], wantFrac)
+		}
+	}
+	out := evalBus(t, g, map[string]uint64{"x": 0})
+	if out["valid"] != 0 {
+		t.Error("log2(0) should be invalid")
+	}
+}
+
+func intLog2(x uint64) int {
+	n := -1
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+func TestSinCORDIC(t *testing.T) {
+	g := buildSin()
+	for _, a := range []uint64{0, 100, 1000, 4000, 8000, 12000, 16000} {
+		out := evalBus(t, g, map[string]uint64{"a": a})
+		angle := float64(a) / 16384.0
+		want := math.Sin(angle) * 16384.0
+		if math.Abs(float64(out["sin"])-want) > 24 {
+			t.Errorf("sin(%v rad) = %d, want ~%.0f", angle, out["sin"], want)
+		}
+	}
+}
+
+func TestVoter(t *testing.T) {
+	g := buildVoter()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		bits := make([]bool, g.NumPIs())
+		ones := 0
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+			if bits[i] {
+				ones++
+			}
+		}
+		out := g.Eval(bits)
+		want := ones >= 51
+		if out[0] != want {
+			t.Fatalf("voter with %d ones = %v, want %v", ones, out[0], want)
+		}
+	}
+	// Edge: exactly at the threshold.
+	bits := make([]bool, g.NumPIs())
+	for i := 0; i < 51; i++ {
+		bits[i] = true
+	}
+	if out := g.Eval(bits); !out[0] {
+		t.Error("51 of 101 must be a majority")
+	}
+	bits[50] = false
+	if out := g.Eval(bits); out[0] {
+		t.Error("50 of 101 must not be a majority")
+	}
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	g := buildDec()
+	for _, a := range []uint64{0, 1, 37, 128, 255} {
+		out := evalBus(t, g, map[string]uint64{"a": a})
+		for i := 0; i < 256; i++ {
+			want := uint64(0)
+			if uint64(i) == a {
+				want = 1
+			}
+			if out["d"+itoa(i)] != want {
+				t.Fatalf("dec(%d): output d%d = %d", a, i, out["d"+itoa(i)])
+			}
+		}
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	g := buildPriority()
+	check := func(lo, hi uint64) {
+		out := evalBus(t, g, map[string]uint64{"req": lo | hi<<63})
+		// The encoder reports the highest-priority (highest-index) request
+		// within the low 64 bits here (tests keep hi = 0).
+		want := uint64(intLog2(lo))
+		if lo == 0 {
+			if out["valid"] != 0 {
+				t.Fatalf("valid on empty request")
+			}
+			return
+		}
+		if out["valid"] != 1 || out["idx"] != want {
+			t.Fatalf("priority(%x) = idx %d valid %d, want %d", lo, out["idx"], out["valid"], want)
+		}
+	}
+	check(0, 0)
+	check(1, 0)
+	check(0x8000000000000000>>1, 0)
+	check(0b1010100, 0)
+}
+
+func TestInt2Float(t *testing.T) {
+	g := buildInt2float()
+	cases := map[uint64][2]uint64{
+		0:    {0, 0},
+		1:    {0, 0},
+		2:    {1, 0},
+		3:    {1, 8},  // 1.1000 -> mant 1000
+		1000: {9, 15}, // 1111101000 -> top 4 after lead = 1111
+		4095: {11, 15},
+	}
+	for x, want := range cases {
+		out := evalBus(t, g, map[string]uint64{"x": x})
+		if out["exp"] != want[0] || out["man"] != want[1] {
+			t.Errorf("int2float(%d) = exp %d man %d, want exp %d man %d",
+				x, out["exp"], out["man"], want[0], want[1])
+		}
+	}
+}
+
+func TestArbiter(t *testing.T) {
+	g := buildArbiter()
+	// Request 3 and 40, pointer at 10: grant must go to 40 (lowest masked
+	// at/above the pointer).
+	out := evalBus(t, g, map[string]uint64{"req": 1<<3 | 1<<40, "ptr": 10})
+	if out["gnt"] != 1<<40 {
+		t.Errorf("grant = %x, want bit 40", out["gnt"])
+	}
+	// Pointer above all requests: wrap to the lowest request.
+	out = evalBus(t, g, map[string]uint64{"req": 1<<3 | 1<<40, "ptr": 50})
+	if out["gnt"] != 1<<3 {
+		t.Errorf("wrapped grant = %x, want bit 3", out["gnt"])
+	}
+	// No requests: no grant, not busy.
+	out = evalBus(t, g, map[string]uint64{"req": 0, "ptr": 0})
+	if out["gnt"] != 0 || out["busy"] != 0 {
+		t.Errorf("idle arbiter: gnt=%x busy=%d", out["gnt"], out["busy"])
+	}
+}
+
+func TestRouter(t *testing.T) {
+	g := buildRouter()
+	// Destination east of us: port[0].
+	out := evalBus(t, g, map[string]uint64{"mx": 2, "my": 2, "dx": 5, "dy": 2, "req": 1})
+	if out["port"] != 1 {
+		t.Errorf("east route: port=%b", out["port"])
+	}
+	// Same x, destination north: port[2].
+	out = evalBus(t, g, map[string]uint64{"mx": 2, "my": 2, "dx": 2, "dy": 7, "req": 1})
+	if out["port"] != 1<<2 {
+		t.Errorf("north route: port=%b", out["port"])
+	}
+	// Local delivery: port[4].
+	out = evalBus(t, g, map[string]uint64{"mx": 3, "my": 3, "dx": 3, "dy": 3, "req": 1})
+	if out["port"] != 1<<4 {
+		t.Errorf("local route: port=%b", out["port"])
+	}
+	// No request: no port asserted.
+	out = evalBus(t, g, map[string]uint64{"mx": 2, "my": 2, "dx": 5, "dy": 2, "req": 0})
+	if out["port"] != 0 {
+		t.Errorf("no-request route: port=%b", out["port"])
+	}
+}
+
+func TestI2CSpotChecks(t *testing.T) {
+	g := buildI2c()
+	// Start command from idle enters state 1.
+	out := evalBus(t, g, map[string]uint64{"cmd": 1, "st": 0, "cnt": 0, "sh": 0})
+	if out["nst"] != 1 {
+		t.Errorf("start: nst=%d", out["nst"])
+	}
+	if out["active"] != 1 {
+		t.Errorf("start not active")
+	}
+	// Counter increments when scl high and not idle.
+	out = evalBus(t, g, map[string]uint64{"cmd": 0, "st": 2, "cnt": 3, "sh": 0, "scl": 1})
+	if out["ncnt"] != 4 {
+		t.Errorf("ncnt=%d, want 4", out["ncnt"])
+	}
+	// Read shifts SDA into the shift register.
+	out = evalBus(t, g, map[string]uint64{"cmd": 4, "st": 2, "cnt": 0, "sh": 0b1010, "sda": 1})
+	if out["nsh"] != 0b10101 {
+		t.Errorf("nsh=%b, want 10101", out["nsh"])
+	}
+}
+
+func TestMemCtrlSpotChecks(t *testing.T) {
+	g := buildMemCtrl()
+	in := map[string]uint64{
+		"addr": 0xA000, "ref": 0,
+		"q0": 0, "q1": 5, "q2": 0, "q3": 9,
+		"o0": 0, "o1": 3, "o2": 0, "o3": 15,
+		"row": 0b0010,
+	}
+	out := evalBus(t, g, in)
+	// Bank 1 has requests and room; bank 3 is over occupancy.
+	if out["gnt"] != 1<<1 {
+		t.Errorf("grant = %b, want bank 1", out["gnt"])
+	}
+	if out["rowhit"] != 1 {
+		t.Errorf("rowhit = %d (bank 1 row open)", out["rowhit"])
+	}
+	if out["depth"] != 5 {
+		t.Errorf("depth = %d, want 5", out["depth"])
+	}
+	// Refresh urgency blocks grants.
+	in["ref"] = 255
+	out = evalBus(t, g, in)
+	if out["gnt"] != 0 || out["refresh"] != 1 {
+		t.Errorf("refresh block: gnt=%b refresh=%d", out["gnt"], out["refresh"])
+	}
+}
+
+func TestCtrlAndCavlcShape(t *testing.T) {
+	gc := buildCtrl()
+	if gc.NumPOs() != 26 {
+		t.Errorf("ctrl outputs = %d, want 26", gc.NumPOs())
+	}
+	// Load opcode asserts c0 and not c1.
+	out := evalBus(t, gc, map[string]uint64{"op": 0b0000011})
+	if out["c0"] != 1 || out["c1"] != 0 {
+		t.Errorf("ctrl decode: %v", out)
+	}
+	gv := buildCavlc()
+	// More coefficients produce longer codes.
+	short := evalBus(t, gv, map[string]uint64{"tc": 1, "t1": 0, "nc": 0})
+	long := evalBus(t, gv, map[string]uint64{"tc": 14, "t1": 0, "nc": 0})
+	if long["len"] <= short["len"] {
+		t.Errorf("cavlc length not increasing: %d vs %d", short["len"], long["len"])
+	}
+}
+
+func TestQuickAdderProperty(t *testing.T) {
+	g := buildAdder()
+	f := func(a, b uint64) bool {
+		a >>= 1
+		b >>= 1
+		out := evalBus(t, g, map[string]uint64{"a": a, "b": b})
+		return out["f"] == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMultiplierProperty(t *testing.T) {
+	g := buildMultiplier()
+	f := func(a, b uint16) bool {
+		out := evalBus(t, g, map[string]uint64{"a": uint64(a), "b": uint64(b)})
+		return out["p"] == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBarProperty(t *testing.T) {
+	g := buildBar()
+	f := func(d uint64, s uint8) bool {
+		sh := uint64(s) & 63
+		out := evalBus(t, g, map[string]uint64{"d": d, "s": sh})
+		return out["q"] == d>>sh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	// Generators must be reproducible: identical structure on every call.
+	for _, gen := range Suite() {
+		a := gen.Build()
+		b := gen.Build()
+		if a.NumNodes() != b.NumNodes() || a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+			t.Errorf("%s: non-deterministic generation", gen.Name)
+		}
+	}
+}
+
+func TestBuildScaled(t *testing.T) {
+	for _, name := range []string{"adder", "bar", "multiplier", "square", "sqrt", "priority", "voter"} {
+		small, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := BuildScaled(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.NumNodes() <= small.NumNodes() {
+			t.Errorf("%s: scaled build not larger (%d vs %d)", name, big.NumNodes(), small.NumNodes())
+		}
+	}
+	// Unscaled circuits fall back to the default build.
+	a, _ := BuildScaled("router")
+	b, _ := Build("router")
+	if a.NumNodes() != b.NumNodes() {
+		t.Error("router should be unchanged by BuildScaled")
+	}
+	if _, err := BuildScaled("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestScaledAdderCorrect(t *testing.T) {
+	g, err := BuildScaled("adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalBus(t, g, map[string]uint64{"a": 123456789, "b": 987654321})
+	if out["f"] != 123456789+987654321 {
+		t.Errorf("scaled adder sum = %d", out["f"])
+	}
+}
+
+func TestScaledVoterCorrect(t *testing.T) {
+	g, err := BuildScaled("voter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]bool, g.NumPIs())
+	for i := 0; i < 151; i++ {
+		bits[i] = true
+	}
+	if out := g.Eval(bits); !out[0] {
+		t.Error("151 of 301 must be a majority")
+	}
+	bits[0] = false
+	if out := g.Eval(bits); out[0] {
+		t.Error("150 of 301 must not be a majority")
+	}
+}

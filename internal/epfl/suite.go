@@ -1,0 +1,94 @@
+package epfl
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+)
+
+// Class labels the two halves of the suite.
+type Class string
+
+// Benchmark classes, matching the EPFL suite's split.
+const (
+	Arithmetic Class = "arithmetic"
+	Control    Class = "control"
+)
+
+// Generator describes one benchmark circuit.
+type Generator struct {
+	Name  string
+	Class Class
+	Build func() *aig.AIG
+}
+
+// Suite returns all twenty EPFL benchmark generators in the paper's order:
+// ten arithmetic, ten control.
+func Suite() []Generator {
+	return []Generator{
+		{"adder", Arithmetic, buildAdder},
+		{"bar", Arithmetic, buildBar},
+		{"div", Arithmetic, buildDiv},
+		{"hyp", Arithmetic, buildHyp},
+		{"log2", Arithmetic, buildLog2},
+		{"max", Arithmetic, buildMax},
+		{"multiplier", Arithmetic, buildMultiplier},
+		{"sin", Arithmetic, buildSin},
+		{"sqrt", Arithmetic, buildSqrt},
+		{"square", Arithmetic, buildSquare},
+		{"arbiter", Control, buildArbiter},
+		{"cavlc", Control, buildCavlc},
+		{"ctrl", Control, buildCtrl},
+		{"dec", Control, buildDec},
+		{"i2c", Control, buildI2c},
+		{"int2float", Control, buildInt2float},
+		{"mem_ctrl", Control, buildMemCtrl},
+		{"priority", Control, buildPriority},
+		{"router", Control, buildRouter},
+		{"voter", Control, buildVoter},
+	}
+}
+
+// BuildScaled generates the named benchmark at a larger width for the
+// generators that support scaling (adder, bar, multiplier, square, sqrt,
+// priority, voter get ~2x the default width, approaching the original
+// suite's sizes); the remaining circuits fall back to their default build.
+func BuildScaled(name string) (*aig.AIG, error) {
+	switch name {
+	case "adder":
+		return buildAdderN(256), nil
+	case "bar":
+		return buildBarN(128, 7), nil
+	case "multiplier":
+		return buildMultiplierN(32), nil
+	case "square":
+		return buildSquareN(32), nil
+	case "sqrt":
+		return buildSqrtN(48), nil
+	case "priority":
+		return buildPriorityN(256), nil
+	case "voter":
+		return buildVoterN(301), nil
+	}
+	return Build(name)
+}
+
+// Build generates the named benchmark.
+func Build(name string) (*aig.AIG, error) {
+	for _, gen := range Suite() {
+		if gen.Name == name {
+			return gen.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("epfl: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark names in suite order.
+func Names() []string {
+	gens := Suite()
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.Name
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package mapper
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aig"
+	"repro/internal/netlist"
+)
+
+// CostMode selects the priority list used to rank candidate matches.
+type CostMode int
+
+// The three mapping scenarios evaluated in the paper (Section V-B).
+const (
+	// Baseline is the state-of-the-art power-aware mapping: network size
+	// (area) remains the primary objective, delay second, with power as the
+	// final tie-breaker — mirroring how ABC "refuses to give up on network
+	// size as its main optimization target".
+	Baseline CostMode = iota
+	// PowerAreaDelay is the proposed cryogenic-aware priority list
+	// power -> area -> delay.
+	PowerAreaDelay
+	// PowerDelayArea is the proposed cryogenic-aware priority list
+	// power -> delay -> area.
+	PowerDelayArea
+)
+
+// String names the mode as in the paper.
+func (m CostMode) String() string {
+	switch m {
+	case PowerAreaDelay:
+		return "p->a->d"
+	case PowerDelayArea:
+		return "p->d->a"
+	default:
+		return "baseline"
+	}
+}
+
+// Options configures a mapping run.
+type Options struct {
+	Mode    CostMode
+	K       int     // cut size (default 5)
+	MaxCuts int     // priority cuts per node (default 8)
+	Vdd     float64 // supply for switching-cost estimation (default library Vdd)
+	// ClockPeriod converts leakage power to per-cycle energy in the power
+	// cost (default 1 ns).
+	ClockPeriod float64
+	// Passes is the number of forward mapping passes; passes after the
+	// first re-estimate area/power flow from the previous cover's actual
+	// fanout counts (standard area-recovery refinement). Default 2.
+	Passes int
+}
+
+// epsilon tolerance when comparing priority-cost components: within eps the
+// components are considered tied and the next priority decides.
+const costEps = 0.06
+
+type implChoice struct {
+	match *Match
+	cut   aig.Cut
+	area  float64
+	delay float64
+	power float64
+	valid bool
+}
+
+// Map covers the AIG with library cells under the selected cost-priority
+// mode and returns the mapped netlist. Primary outputs are aliased onto
+// their driver nets (inverters are materialized where a complemented signal
+// is required).
+func Map(g *aig.AIG, ml *MatchLibrary, opt Options) (*netlist.Netlist, error) {
+	if opt.K == 0 {
+		opt.K = 5
+	}
+	if opt.MaxCuts == 0 {
+		opt.MaxCuts = 8
+	}
+	if opt.Vdd == 0 {
+		opt.Vdd = ml.Lib.Vdd
+	}
+	if opt.ClockPeriod == 0 {
+		opt.ClockPeriod = 1e-9
+	}
+	if opt.K > 6 {
+		return nil, fmt.Errorf("mapper: cut size %d exceeds 6", opt.K)
+	}
+	if opt.Passes == 0 {
+		opt.Passes = 2
+	}
+	cuts := g.EnumerateCuts(opt.K, opt.MaxCuts)
+	refs := g.FanoutCounts()
+	act := g.Activities()
+
+	inv := ml.Inv
+	invEnergyAt := func(a float64) float64 {
+		return a*inv.Energy + inv.Leakage*opt.ClockPeriod + a*0.5*opt.Vdd*opt.Vdd*inv.InCaps[0]
+	}
+
+	var best []implChoice
+	for pass := 0; pass < opt.Passes; pass++ {
+		if pass > 0 {
+			// Refinement: re-estimate flows with the previous cover's
+			// actual reference counts, so shared logic is priced correctly.
+			refs = coverRefs(g, best)
+		}
+		best = mapPass(g, ml, opt, cuts, refs, act, invEnergyAt)
+	}
+	return extract(g, ml, best, opt)
+}
+
+// coverRefs counts, per variable, how many chosen cuts (plus primary
+// outputs) reference it in the current cover.
+func coverRefs(g *aig.AIG, best []implChoice) []int {
+	refs := make([]int, g.NumVars())
+	visited := make([]bool, g.NumVars())
+	var visit func(v int)
+	visit = func(v int) {
+		if v == 0 || g.IsPI(v) || visited[v] {
+			return
+		}
+		visited[v] = true
+		for _, leaf := range best[v].cut.Leaves {
+			refs[leaf]++
+			visit(leaf)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		if po.Var() != 0 {
+			refs[po.Var()]++
+			visit(po.Var())
+		}
+	}
+	return refs
+}
+
+// mapPass runs one forward best-match pass under the given reference
+// counts.
+func mapPass(g *aig.AIG, ml *MatchLibrary, opt Options, cuts [][]aig.Cut, refs []int, act []float64, invEnergyAt func(float64) float64) []implChoice {
+	inv := ml.Inv
+	best := make([]implChoice, g.NumVars())
+	for v := 1; v <= g.NumPIs(); v++ {
+		best[v] = implChoice{valid: true}
+	}
+	for v := g.NumPIs() + 1; v < g.NumVars(); v++ {
+		var bc implChoice
+		for _, cut := range cuts[v] {
+			n := len(cut.Leaves)
+			if n < 1 || n > 6 {
+				continue
+			}
+			if n == 1 && cut.Leaves[0] == v {
+				continue // trivial cut
+			}
+			tt := g.CutTruth(aig.MakeLit(v, false), cut.Leaves)
+			for _, m := range ml.MatchesFor(tt, n) {
+				cand := implChoice{match: m, cut: cut, valid: true}
+				cand.area = m.Area
+				cand.delay = m.Delay
+				// Power: internal energy weighted by this node's switching
+				// activity, leakage integrated over a clock period, and the
+				// switching energy of charging the cell's input pins.
+				cand.power = act[v]*m.Energy + m.Leakage*opt.ClockPeriod
+				for i, leaf := range m.PinToLeaf {
+					cand.power += act[cut.Leaves[leaf]] * 0.5 * opt.Vdd * opt.Vdd * m.InCaps[i]
+				}
+				if m.OutNeg {
+					cand.area += inv.Area
+					cand.delay += inv.Delay
+					cand.power += invEnergyAt(act[v])
+				}
+				var worstLeaf float64
+				for _, leaf := range cut.Leaves {
+					lb := best[leaf]
+					if !lb.valid {
+						cand.valid = false
+						break
+					}
+					r := refs[leaf]
+					if r < 1 {
+						r = 1
+					}
+					cand.area += lb.area / float64(r)
+					cand.power += lb.power / float64(r)
+					if lb.delay > worstLeaf {
+						worstLeaf = lb.delay
+					}
+				}
+				if !cand.valid {
+					continue
+				}
+				cand.delay += worstLeaf
+				if !bc.valid || better(cand, bc, opt.Mode) {
+					bc = cand
+				}
+			}
+		}
+		best[v] = bc
+	}
+	return best
+}
+
+// better compares two candidates under the mode's priority list.
+func better(a, b implChoice, mode CostMode) bool {
+	var ka, kb [3]float64
+	switch mode {
+	case PowerAreaDelay:
+		ka = [3]float64{a.power, a.area, a.delay}
+		kb = [3]float64{b.power, b.area, b.delay}
+	case PowerDelayArea:
+		ka = [3]float64{a.power, a.delay, a.area}
+		kb = [3]float64{b.power, b.delay, b.area}
+	default:
+		ka = [3]float64{a.area, a.delay, a.power}
+		kb = [3]float64{b.area, b.delay, b.power}
+	}
+	for i := 0; i < 3; i++ {
+		lo, hi := ka[i], kb[i]
+		scale := math.Max(math.Abs(lo), math.Abs(hi))
+		if scale > 0 && math.Abs(lo-hi) > costEps*scale {
+			return lo < hi
+		}
+	}
+	return false
+}
+
+// extract performs the backward covering pass and materializes the netlist.
+func extract(g *aig.AIG, ml *MatchLibrary, best []implChoice, opt Options) (*netlist.Netlist, error) {
+	type need struct{ pos, neg bool }
+	needs := make([]need, g.NumVars())
+	visited := make([]bool, g.NumVars())
+
+	var visitErr error
+	var visit func(v int)
+	visit = func(v int) {
+		if v == 0 || g.IsPI(v) || visited[v] {
+			return
+		}
+		if !best[v].valid {
+			visitErr = fmt.Errorf("mapper: no match for node %d (function not in library)", v)
+			return
+		}
+		visited[v] = true
+		for _, leaf := range best[v].cut.Leaves {
+			if leaf != v {
+				visit(leaf)
+				needs[leaf].pos = true
+			}
+		}
+	}
+	needConst0, needConst1 := false, false
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		if po.Var() == 0 {
+			if po.IsCompl() {
+				needConst1 = true
+			} else {
+				needConst0 = true
+			}
+			continue
+		}
+		visit(po.Var())
+		if po.IsCompl() {
+			needs[po.Var()].neg = true
+		} else if !g.IsPI(po.Var()) {
+			needs[po.Var()].pos = true
+		}
+	}
+	if visitErr != nil {
+		return nil, visitErr
+	}
+
+	nl := netlist.New(g.Name, ml.Cells)
+	for i := 0; i < g.NumPIs(); i++ {
+		nl.Inputs = append(nl.Inputs, g.PIName(i))
+	}
+	netOf := func(v int) string {
+		if g.IsPI(v) {
+			return g.PIName(v - 1)
+		}
+		return fmt.Sprintf("n%d", v)
+	}
+	invNet := func(v int) string { return netOf(v) + "_inv" }
+
+	// Constant nets: realized by tying all inputs of a cell whose function
+	// is constant on the all-equal rows (e.g. XOR2(a,a) = 0) to a PI.
+	if needConst0 || needConst1 {
+		if g.NumPIs() == 0 {
+			return nil, fmt.Errorf("mapper: constant output in a circuit without inputs")
+		}
+		anyPI := g.PIName(0)
+		mkConst := func(want bool, net string) error {
+			cell := constCell(ml, want)
+			if cell == nil {
+				return fmt.Errorf("mapper: library cannot realize constant %v", want)
+			}
+			pins := make([]string, len(cell.Cell.Inputs))
+			for i := range pins {
+				pins[i] = anyPI
+			}
+			return nl.AddGate(cell.Lib.Name, pins, net)
+		}
+		if needConst0 {
+			if err := mkConst(false, "const0"); err != nil {
+				return nil, err
+			}
+		}
+		if needConst1 {
+			if err := mkConst(true, "const1"); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for v := g.NumPIs() + 1; v < g.NumVars(); v++ {
+		if !visited[v] {
+			continue
+		}
+		bc := best[v]
+		m := bc.match
+		pins := make([]string, len(m.PinToLeaf))
+		for pinIdx, leafIdx := range m.PinToLeaf {
+			pins[pinIdx] = netOf(bc.cut.Leaves[leafIdx])
+		}
+		out := netOf(v)
+		if m.OutNeg {
+			// The cell realizes the complement: its raw output is the
+			// inverted net; an inverter restores the positive phase when
+			// needed.
+			raw := invNet(v)
+			if err := nl.AddGate(m.Lib.Name, pins, raw); err != nil {
+				return nil, err
+			}
+			needs[v].neg = false // complement available for free
+			if needs[v].pos {
+				if err := nl.AddGate(ml.Inv.Lib.Name, []string{raw}, out); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := nl.AddGate(m.Lib.Name, pins, out); err != nil {
+			return nil, err
+		}
+	}
+	// Inverters for complemented uses (POs, OutNeg already handled).
+	for v := 1; v < g.NumVars(); v++ {
+		if !needs[v].neg {
+			continue
+		}
+		if !g.IsPI(v) && !visited[v] {
+			return nil, fmt.Errorf("mapper: internal error: inverted use of unmapped node %d", v)
+		}
+		if err := nl.AddGate(ml.Inv.Lib.Name, []string{netOf(v)}, invNet(v)); err != nil {
+			return nil, err
+		}
+	}
+	// Primary outputs alias their driver nets.
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		name := g.POName(i)
+		var net string
+		switch {
+		case po.Var() == 0 && po.IsCompl():
+			net = "const1"
+		case po.Var() == 0:
+			net = "const0"
+		case po.IsCompl():
+			net = invNet(po.Var())
+		default:
+			net = netOf(po.Var())
+		}
+		nl.Outputs = append(nl.Outputs, name)
+		nl.Aliases[name] = net
+	}
+	return nl, nil
+}
+
+// constCell finds a combinational match cell whose output is the requested
+// constant when all inputs are tied together (rows 00..0 and 11..1 equal).
+func constCell(ml *MatchLibrary, want bool) *Match {
+	for _, byTT := range ml.byCanon {
+		for _, ms := range byTT {
+			for _, m := range ms {
+				tt, ok := m.Cell.Truth(m.Cell.Outputs[0])
+				if !ok {
+					continue
+				}
+				n := len(m.Cell.Inputs)
+				lo := tt&1 != 0
+				hi := tt&(1<<uint(1<<uint(n)-1)) != 0
+				if lo == hi && lo == want {
+					return m
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package measure implements a virtual cryogenic probe station.
+//
+// It substitutes for the paper's physical measurement setup (Lakeshore
+// CRX-VF cryogenic probe station + Keysight B1500A semiconductor analyzer +
+// commercial 5 nm FinFET samples): a reference device — a compact model with
+// a perturbed "silicon" parameter card that the calibration flow does not
+// get to see — is swept under a measurement plan, and the recorded currents
+// are corrupted with instrument noise and with the probe-induced thermal
+// fluctuation the paper documents (3.5 K to 8.5 K of heat-flux drift, which
+// is why 10 K is the lowest stable setpoint).
+package measure
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/device"
+)
+
+// Point is a single I-V measurement sample.
+type Point struct {
+	Vgs     float64 // applied gate-source voltage (V)
+	Vds     float64 // applied drain-source voltage (V)
+	TempSet float64 // chuck setpoint (K)
+	TempAct float64 // actual device temperature during the sample (K)
+	Ids     float64 // measured drain current (A), signed
+}
+
+// Dataset is a collection of measurements for one device.
+type Dataset struct {
+	Device string // e.g. "nfet" / "pfet"
+	Points []Point
+}
+
+// Plan describes a measurement campaign: transfer sweeps at a set of drain
+// biases and temperatures, mirroring the paper's Fig. 1(b,c) campaign.
+type Plan struct {
+	VgsStart, VgsStop, VgsStep float64
+	VdsList                    []float64
+	Temps                      []float64
+}
+
+// PaperPlan returns the measurement plan of the paper: Vgs transfer sweeps at
+// Vds = 50 mV and 750 mV, from 300 K down to 10 K. Voltages are magnitudes;
+// the station mirrors them for p-type devices.
+func PaperPlan() Plan {
+	return Plan{
+		VgsStart: 0, VgsStop: 0.75, VgsStep: 0.025,
+		VdsList: []float64{0.05, 0.75},
+		Temps:   []float64{300, 200, 100, 77, 50, 25, 10},
+	}
+}
+
+// Station is the virtual instrument. NoiseRel is the relative current noise
+// (1 sigma), NoiseFloor the absolute instrument noise floor in amperes, and
+// FluctLo/FluctHi the probe-heat-flux temperature rise range in kelvin.
+type Station struct {
+	NoiseRel   float64
+	NoiseFloor float64
+	FluctLo    float64
+	FluctHi    float64
+	rng        *rand.Rand
+}
+
+// NewStation returns a station with the paper's documented characteristics
+// and a deterministic noise stream derived from seed.
+func NewStation(seed int64) *Station {
+	return &Station{
+		NoiseRel:   0.02,
+		NoiseFloor: 5e-13,
+		FluctLo:    3.5,
+		FluctHi:    8.5,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Measure runs the plan against the reference device and returns the noisy
+// dataset. For PFET devices the plan's magnitudes are applied with circuit
+// polarity (negative biases) and negative currents are recorded, exactly as
+// a real SMU would report them.
+func (s *Station) Measure(ref *device.Model, plan Plan) Dataset {
+	sign := 1.0
+	if ref.Type == device.PFET {
+		sign = -1.0
+	}
+	ds := Dataset{Device: ref.Type.String()}
+	for _, temp := range plan.Temps {
+		for _, vds := range plan.VdsList {
+			for vgs := plan.VgsStart; vgs <= plan.VgsStop+1e-12; vgs += plan.VgsStep {
+				tact := temp + s.FluctLo + s.rng.Float64()*(s.FluctHi-s.FluctLo)
+				ideal := ref.Ids(sign*vgs, sign*vds, tact)
+				noisy := ideal*(1+s.NoiseRel*s.rng.NormFloat64()) + s.NoiseFloor*s.rng.NormFloat64()
+				ds.Points = append(ds.Points, Point{
+					Vgs:     sign * vgs,
+					Vds:     sign * vds,
+					TempSet: temp,
+					TempAct: tact,
+					Ids:     noisy,
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// ReferenceSilicon returns the hidden "wafer" device the station probes: the
+// default model card perturbed deterministically, so that calibration has
+// real work to do. The perturbation magnitudes reflect realistic
+// die-to-model offsets.
+func ReferenceSilicon(typ device.Type, seed int64) *device.Model {
+	rng := rand.New(rand.NewSource(seed))
+	var m *device.Model
+	if typ == device.PFET {
+		m = device.NewP(1)
+	} else {
+		m = device.NewN(1)
+	}
+	p := &m.P
+	p.Vth0 *= 1 + 0.06*(rng.Float64()*2-1)
+	p.VthTC *= 1 + 0.10*(rng.Float64()*2-1)
+	p.TBand *= 1 + 0.12*(rng.Float64()*2-1)
+	p.MuPh0 *= 1 + 0.08*(rng.Float64()*2-1)
+	p.N0 *= 1 + 0.03*(rng.Float64()*2-1)
+	p.DIBL *= 1 + 0.10*(rng.Float64()*2-1)
+	return m
+}
+
+// FilterVds returns the subset of points measured at the given drain bias
+// magnitude.
+func (d Dataset) FilterVds(vdsMag float64) []Point {
+	var out []Point
+	for _, pt := range d.Points {
+		if math.Abs(math.Abs(pt.Vds)-vdsMag) < 1e-9 {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// FilterTemp returns the subset of points at the given setpoint.
+func (d Dataset) FilterTemp(tempSet float64) []Point {
+	var out []Point
+	for _, pt := range d.Points {
+		if pt.TempSet == tempSet {
+			out = append(out, pt)
+		}
+	}
+	return out
+}

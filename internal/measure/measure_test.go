@@ -1,0 +1,116 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestPaperPlanShape(t *testing.T) {
+	p := PaperPlan()
+	if len(p.VdsList) != 2 || p.VdsList[0] != 0.05 || p.VdsList[1] != 0.75 {
+		t.Errorf("plan drain biases = %v, want paper's 50 mV and 750 mV", p.VdsList)
+	}
+	if p.Temps[0] != 300 || p.Temps[len(p.Temps)-1] != 10 {
+		t.Errorf("plan temperatures %v must span 300 K down to 10 K", p.Temps)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	ref := ReferenceSilicon(device.NFET, 7)
+	a := NewStation(42).Measure(ref, PaperPlan())
+	b := NewStation(42).Measure(ref, PaperPlan())
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs between identically seeded stations", i)
+		}
+	}
+}
+
+func TestThermalFluctuationRange(t *testing.T) {
+	ref := ReferenceSilicon(device.NFET, 7)
+	ds := NewStation(1).Measure(ref, PaperPlan())
+	for _, pt := range ds.Points {
+		d := pt.TempAct - pt.TempSet
+		if d < 3.5-1e-9 || d > 8.5+1e-9 {
+			t.Fatalf("thermal fluctuation %v K outside the documented 3.5-8.5 K", d)
+		}
+	}
+}
+
+func TestMeasurementTracksSilicon(t *testing.T) {
+	ref := ReferenceSilicon(device.NFET, 7)
+	ds := NewStation(3).Measure(ref, PaperPlan())
+	// Above the noise floor the relative error should be dominated by the
+	// 2 % instrument noise.
+	var worst float64
+	for _, pt := range ds.Points {
+		ideal := ref.Ids(pt.Vgs, pt.Vds, pt.TempAct)
+		if math.Abs(ideal) < 1e-9 {
+			continue
+		}
+		rel := math.Abs(pt.Ids-ideal) / math.Abs(ideal)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.15 {
+		t.Errorf("worst relative measurement error %v, want < 15%%", worst)
+	}
+}
+
+func TestPFETMeasurementPolarity(t *testing.T) {
+	ref := ReferenceSilicon(device.PFET, 9)
+	ds := NewStation(5).Measure(ref, PaperPlan())
+	for _, pt := range ds.Points {
+		if pt.Vgs > 1e-12 || pt.Vds > 1e-12 {
+			t.Fatalf("PFET measurement with positive bias: %+v", pt)
+		}
+	}
+	// Strong-inversion currents must be negative.
+	neg := 0
+	for _, pt := range ds.Points {
+		if pt.Vgs < -0.5 && pt.Ids < 0 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("no negative strong-inversion PFET currents recorded")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	ref := ReferenceSilicon(device.NFET, 7)
+	ds := NewStation(1).Measure(ref, PaperPlan())
+	low := ds.FilterVds(0.05)
+	high := ds.FilterVds(0.75)
+	if len(low) == 0 || len(high) == 0 || len(low)+len(high) != len(ds.Points) {
+		t.Errorf("FilterVds split %d + %d != %d", len(low), len(high), len(ds.Points))
+	}
+	t300 := ds.FilterTemp(300)
+	if len(t300) == 0 {
+		t.Error("FilterTemp(300) empty")
+	}
+	for _, pt := range t300 {
+		if pt.TempSet != 300 {
+			t.Fatalf("FilterTemp returned setpoint %v", pt.TempSet)
+		}
+	}
+}
+
+func TestReferenceSiliconPerturbed(t *testing.T) {
+	ref := ReferenceSilicon(device.NFET, 7)
+	def := device.DefaultNParams()
+	if ref.P.Vth0 == def.Vth0 && ref.P.MuPh0 == def.MuPh0 && ref.P.TBand == def.TBand {
+		t.Error("reference silicon identical to the default card; calibration would be a no-op")
+	}
+	// Different seeds give different silicon.
+	other := ReferenceSilicon(device.NFET, 8)
+	if other.P.Vth0 == ref.P.Vth0 {
+		t.Error("different seeds produced identical silicon")
+	}
+}

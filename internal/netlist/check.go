@@ -1,0 +1,72 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Issue is one netlist DRC finding.
+type Issue struct {
+	Kind string // "undriven", "multi-driver", "unused-gate", "bad-order", "undriven-output"
+	Net  string
+	Gate string
+}
+
+func (i Issue) String() string {
+	if i.Gate != "" {
+		return fmt.Sprintf("%s: net %q (gate %s)", i.Kind, i.Net, i.Gate)
+	}
+	return fmt.Sprintf("%s: net %q", i.Kind, i.Net)
+}
+
+// Check runs structural design-rule checks on the netlist: every consumed
+// net must have exactly one driver (or be a primary input), gate order must
+// be topological, primary outputs must resolve to driven nets, and every
+// gate's output should reach a primary output (dead logic is reported, not
+// fatal). Findings are sorted deterministically.
+func (n *Netlist) Check() []Issue {
+	var issues []Issue
+	driven := make(map[string]string, len(n.Gates)) // net -> driver gate
+	for _, in := range n.Inputs {
+		driven[in] = "<input>"
+	}
+	for _, g := range n.Gates {
+		for _, in := range g.Inputs {
+			if _, ok := driven[in]; !ok {
+				issues = append(issues, Issue{Kind: "bad-order", Net: in, Gate: g.Name})
+			}
+		}
+		if prev, ok := driven[g.Output]; ok {
+			issues = append(issues, Issue{Kind: "multi-driver", Net: g.Output, Gate: g.Name + "/" + prev})
+		}
+		driven[g.Output] = g.Name
+	}
+	// Outputs must resolve to driven nets.
+	for _, out := range n.Outputs {
+		if _, ok := driven[n.Resolve(out)]; !ok {
+			issues = append(issues, Issue{Kind: "undriven-output", Net: out})
+		}
+	}
+	// Reachability: gates whose output feeds nothing and no PO.
+	used := make(map[string]bool, len(n.Gates))
+	for _, g := range n.Gates {
+		for _, in := range g.Inputs {
+			used[in] = true
+		}
+	}
+	for _, out := range n.Outputs {
+		used[n.Resolve(out)] = true
+	}
+	for _, g := range n.Gates {
+		if !used[g.Output] {
+			issues = append(issues, Issue{Kind: "unused-gate", Net: g.Output, Gate: g.Name})
+		}
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Kind != issues[j].Kind {
+			return issues[i].Kind < issues[j].Kind
+		}
+		return issues[i].Net < issues[j].Net
+	})
+	return issues
+}

@@ -1,0 +1,234 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pdk"
+)
+
+var catalog = pdk.Catalog()
+
+func simpleNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	nl := New("simple", catalog)
+	nl.Inputs = []string{"a", "b"}
+	if err := nl.AddGate("NAND2x1", []string{"a", "b"}, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddGate("INVx1", []string{"n1"}, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	nl.Outputs = []string{"y"}
+	nl.Aliases["y"] = "n2"
+	return nl
+}
+
+func TestEvalAndGate(t *testing.T) {
+	nl := simpleNetlist(t)
+	for idx := 0; idx < 4; idx++ {
+		in := map[string]bool{"a": idx&1 != 0, "b": idx&2 != 0}
+		out, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["y"] != (in["a"] && in["b"]) {
+			t.Errorf("y(%v) = %v", in, out["y"])
+		}
+	}
+}
+
+func TestSimulateWordsMatchesBitwise(t *testing.T) {
+	nl := simpleNetlist(t)
+	in := map[string]uint64{"a": 0b1100, "b": 0b1010}
+	vals, err := nl.SimulateWords(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["n2"]&0xF != 0b1000 {
+		t.Errorf("AND word = %b", vals["n2"]&0xF)
+	}
+	if vals["n1"]&0xF != 0b0111 {
+		t.Errorf("NAND word = %b", vals["n1"]&0xF)
+	}
+}
+
+func TestAddGateValidation(t *testing.T) {
+	nl := New("bad", catalog)
+	if err := nl.AddGate("NOPE", []string{"a"}, "y"); err == nil {
+		t.Error("unknown cell accepted")
+	}
+	if err := nl.AddGate("NAND2x1", []string{"a"}, "y"); err == nil {
+		t.Error("wrong pin count accepted")
+	}
+}
+
+func TestUseBeforeDriveDetected(t *testing.T) {
+	nl := New("order", catalog)
+	nl.Inputs = []string{"a"}
+	nl.AddGate("INVx1", []string{"ghost"}, "n1")
+	if _, err := nl.SimulateWords(map[string]uint64{"a": 1}); err == nil {
+		t.Error("undriven net not detected")
+	}
+}
+
+func TestToggleRates(t *testing.T) {
+	nl := simpleNetlist(t)
+	rates, err := nl.ToggleRates(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random inputs toggle with rate ~0.5; the AND output toggles at
+	// ~2*(1/4)*(3/4) = 0.375.
+	if math.Abs(rates["a"]-0.5) > 0.06 {
+		t.Errorf("input toggle rate %v, want ~0.5", rates["a"])
+	}
+	if math.Abs(rates["n2"]-0.375) > 0.06 {
+		t.Errorf("AND toggle rate %v, want ~0.375", rates["n2"])
+	}
+	// NAND and its inverse toggle identically.
+	if math.Abs(rates["n1"]-rates["n2"]) > 1e-9 {
+		t.Errorf("complementary nets with different rates: %v vs %v", rates["n1"], rates["n2"])
+	}
+}
+
+func TestAreaAndCounts(t *testing.T) {
+	nl := simpleNetlist(t)
+	if nl.Area() <= 0 {
+		t.Error("area must be positive")
+	}
+	counts := nl.CellCounts()
+	if counts["NAND2x1"] != 1 || counts["INVx1"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if nl.NumGates() != 2 {
+		t.Errorf("gates = %d", nl.NumGates())
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	nl := simpleNetlist(t)
+	var sb strings.Builder
+	if err := nl.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module simple (a, b, y);",
+		"input a;",
+		"output y;",
+		"NAND2x1 g0 (.A(a), .B(b), .Y(n1));",
+		"assign y = n2;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	nl := New("fan", catalog)
+	nl.Inputs = []string{"a"}
+	nl.AddGate("INVx1", []string{"a"}, "n1")
+	nl.AddGate("INVx1", []string{"n1"}, "n2")
+	nl.AddGate("NAND2x1", []string{"n1", "n2"}, "n3")
+	f := nl.Fanouts()
+	if len(f["n1"]) != 2 {
+		t.Errorf("n1 fanouts = %v", f["n1"])
+	}
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	nl := simpleNetlist(t)
+	nl.AddGate("AOI21x1", []string{"a", "b", "n2"}, "n3")
+	nl.Outputs = append(nl.Outputs, "z")
+	nl.Aliases["z"] = "n3"
+	var sb strings.Builder
+	if err := nl.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVerilog(strings.NewReader(sb.String()), catalog)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.Name != nl.Name || back.NumGates() != nl.NumGates() {
+		t.Fatalf("structure lost: %d gates vs %d", back.NumGates(), nl.NumGates())
+	}
+	// Functional equivalence over all input vectors.
+	for idx := 0; idx < 4; idx++ {
+		in := map[string]bool{"a": idx&1 != 0, "b": idx&2 != 0}
+		w1, err := nl.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := back.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range nl.Outputs {
+			if w1[o] != w2[o] {
+				t.Fatalf("output %s differs after round trip at %v", o, in)
+			}
+		}
+	}
+}
+
+func TestReadVerilogRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"module m (a); input a; NOPE g0 (.A(a), .Y(y)); endmodule",
+		"module m (a); input a; INVx1 g0 (a, y); endmodule",  // positional ports
+		"module m (a); input a; INVx1 g0 (.Y(y)); endmodule", // missing pin
+		"wire w; module m (a); endmodule",                    // decl before module
+	}
+	for _, src := range cases {
+		if _, err := ReadVerilog(strings.NewReader(src), catalog); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestCheckCleanNetlist(t *testing.T) {
+	nl := simpleNetlist(t)
+	if issues := nl.Check(); len(issues) != 0 {
+		t.Errorf("clean netlist reported issues: %v", issues)
+	}
+}
+
+func TestCheckFindsProblems(t *testing.T) {
+	nl := New("broken", catalog)
+	nl.Inputs = []string{"a"}
+	nl.AddGate("INVx1", []string{"ghost"}, "n1") // bad order: ghost undriven
+	nl.AddGate("INVx1", []string{"a"}, "n1")     // multi-driver on n1
+	nl.AddGate("INVx1", []string{"a"}, "dead")   // unused gate
+	nl.Outputs = []string{"y"}
+	nl.Aliases["y"] = "nowhere" // undriven output
+	kinds := map[string]bool{}
+	for _, is := range nl.Check() {
+		kinds[is.Kind] = true
+	}
+	for _, want := range []string{"bad-order", "multi-driver", "unused-gate", "undriven-output"} {
+		if !kinds[want] {
+			t.Errorf("missing issue kind %q (got %v)", want, kinds)
+		}
+	}
+}
+
+func TestCheckMappedCircuitsClean(t *testing.T) {
+	// The mapper's output must always pass DRC (checked here on a hand
+	// netlist standing in for mapper output via the round-trip path).
+	nl := simpleNetlist(t)
+	var sb strings.Builder
+	if err := nl.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVerilog(strings.NewReader(sb.String()), catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := back.Check(); len(issues) != 0 {
+		t.Errorf("round-tripped netlist has issues: %v", issues)
+	}
+}

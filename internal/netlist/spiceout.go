@@ -1,0 +1,57 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/spice"
+)
+
+// BuildSPICE instantiates the mapped netlist transistor by transistor into
+// a SPICE circuit at the given temperature: every gate is expanded through
+// its PDK cell definition. It returns the supply branch index (for current
+// measurement) and a map from netlist nets to circuit nodes. Primary inputs
+// are NOT driven — the caller attaches sources to the returned nodes.
+//
+// This closes the loop between the abstract signoff (liberty STA/power) and
+// the underlying device physics: a mapped netlist can be re-simulated at
+// the transistor level with the same compact model that characterized the
+// library.
+func (n *Netlist) BuildSPICE(c *spice.Circuit, vdd float64) (supplyBranch int, nodes map[string]spice.NodeID, err error) {
+	vddN := c.Node("vdd")
+	supplyBranch = c.AddVSource(vddN, spice.Ground, spice.DC(vdd))
+	nodes = make(map[string]spice.NodeID)
+	nodeOf := func(net string) spice.NodeID {
+		if id, ok := nodes[net]; ok {
+			return id
+		}
+		id := c.Node("net_" + net)
+		nodes[net] = id
+		return id
+	}
+	for _, in := range n.Inputs {
+		nodeOf(in)
+	}
+	for gi, g := range n.Gates {
+		def := n.cellIndex[g.Cell]
+		if def == nil {
+			return 0, nil, fmt.Errorf("netlist: unknown cell %s", g.Cell)
+		}
+		pins := make(map[string]spice.NodeID, len(g.Inputs)+1)
+		for i, net := range g.Inputs {
+			pins[def.Inputs[i]] = nodeOf(net)
+		}
+		pins[def.Outputs[0]] = nodeOf(g.Output)
+		// Multi-output cells: tie unused outputs to fresh nodes.
+		for _, o := range def.Outputs[1:] {
+			pins[o] = c.Node(fmt.Sprintf("nc_%d_%s", gi, o))
+		}
+		if err := def.Build(c, fmt.Sprintf("x%d", gi), pins, vddN); err != nil {
+			return 0, nil, err
+		}
+	}
+	// Alias nets of primary outputs resolve to their drivers.
+	for _, out := range n.Outputs {
+		nodes[out] = nodeOf(n.Resolve(out))
+	}
+	return supplyBranch, nodes, nil
+}

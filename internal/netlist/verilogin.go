@@ -1,0 +1,169 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/pdk"
+)
+
+// ReadVerilog parses structural Verilog in the subset emitted by
+// WriteVerilog (module header, input/output/wire declarations, named-port
+// cell instances, and assigns), resolving cells against the given PDK
+// catalog. Gate order in the file must be topological (drivers first), as
+// WriteVerilog guarantees.
+func ReadVerilog(r io.Reader, cells []*pdk.Cell) (*Netlist, error) {
+	text, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize: strip comments, join statements split across lines.
+	var sb strings.Builder
+	for _, line := range strings.Split(string(text), "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(line)
+		sb.WriteString(" ")
+	}
+	src := sb.String()
+
+	var nl *Netlist
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Split(splitStatements)
+	for sc.Scan() {
+		stmt := strings.TrimSpace(sc.Text())
+		if stmt == "" || stmt == "endmodule" {
+			continue
+		}
+		fields := strings.Fields(stmt)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "module":
+			name, _, err := parseModuleHeader(stmt)
+			if err != nil {
+				return nil, err
+			}
+			nl = New(name, cells)
+		case "input", "output", "wire":
+			if nl == nil {
+				return nil, fmt.Errorf("verilog: declaration before module")
+			}
+			for _, n := range splitList(strings.TrimPrefix(stmt, fields[0])) {
+				switch fields[0] {
+				case "input":
+					nl.Inputs = append(nl.Inputs, n)
+				case "output":
+					nl.Outputs = append(nl.Outputs, n)
+				}
+			}
+		case "assign":
+			if nl == nil {
+				return nil, fmt.Errorf("verilog: assign before module")
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(stmt, "assign"))
+			parts := strings.SplitN(rest, "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("verilog: malformed assign %q", stmt)
+			}
+			nl.Aliases[strings.TrimSpace(parts[0])] = strings.TrimSpace(parts[1])
+		default:
+			// Cell instance: CELL name ( .P(net), ... )
+			if nl == nil {
+				return nil, fmt.Errorf("verilog: instance before module")
+			}
+			if err := parseInstance(nl, stmt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if nl == nil {
+		return nil, fmt.Errorf("verilog: no module found")
+	}
+	return nl, nil
+}
+
+// splitStatements splits on ';' at depth zero.
+func splitStatements(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	for i := 0; i < len(data); i++ {
+		if data[i] == ';' {
+			return i + 1, data[:i], nil
+		}
+	}
+	if atEOF && len(data) > 0 {
+		return len(data), data, nil
+	}
+	if atEOF {
+		return 0, nil, nil
+	}
+	return 0, nil, nil
+}
+
+func parseModuleHeader(stmt string) (name string, ports []string, err error) {
+	open := strings.Index(stmt, "(")
+	closeIdx := strings.LastIndex(stmt, ")")
+	if open < 0 || closeIdx < open {
+		return "", nil, fmt.Errorf("verilog: malformed module header %q", stmt)
+	}
+	name = strings.TrimSpace(strings.TrimPrefix(stmt[:open], "module"))
+	return name, splitList(stmt[open+1 : closeIdx]), nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func parseInstance(nl *Netlist, stmt string) error {
+	open := strings.Index(stmt, "(")
+	closeIdx := strings.LastIndex(stmt, ")")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("verilog: malformed instance %q", stmt)
+	}
+	head := strings.Fields(stmt[:open])
+	if len(head) != 2 {
+		return fmt.Errorf("verilog: malformed instance header %q", stmt[:open])
+	}
+	cellName := head[0]
+	def := nl.Cell(cellName)
+	if def == nil {
+		return fmt.Errorf("verilog: unknown cell %q", cellName)
+	}
+	conns := make(map[string]string)
+	for _, p := range splitList(stmt[open+1 : closeIdx]) {
+		if !strings.HasPrefix(p, ".") {
+			return fmt.Errorf("verilog: positional port %q unsupported", p)
+		}
+		po := strings.Index(p, "(")
+		pc := strings.LastIndex(p, ")")
+		if po < 0 || pc < po {
+			return fmt.Errorf("verilog: malformed port %q", p)
+		}
+		pin := strings.TrimSpace(p[1:po])
+		net := strings.TrimSpace(p[po+1 : pc])
+		conns[pin] = net
+	}
+	inputs := make([]string, len(def.Inputs))
+	for i, pin := range def.Inputs {
+		net, ok := conns[pin]
+		if !ok {
+			return fmt.Errorf("verilog: cell %s instance missing pin %s", cellName, pin)
+		}
+		inputs[i] = net
+	}
+	out, ok := conns[def.Outputs[0]]
+	if !ok {
+		return fmt.Errorf("verilog: cell %s instance missing output %s", cellName, def.Outputs[0])
+	}
+	return nl.AddGate(cellName, inputs, out)
+}

@@ -1,0 +1,426 @@
+package pdk
+
+import "fmt"
+
+// letters used for generated gate input pins.
+var pinLetters = []string{"A", "B", "C", "D", "E", "F"}
+
+func litsFor(n int) []*Expr {
+	out := make([]*Expr, n)
+	for i := 0; i < n; i++ {
+		out[i] = Lit(pinLetters[i])
+	}
+	return out
+}
+
+func comb(base string, drive int, inputs []string, outputs []string, stages []Stage) *Cell {
+	c := &Cell{
+		Name:    fmt.Sprintf("%sx%d", base, drive),
+		Base:    base,
+		Drive:   drive,
+		Inputs:  inputs,
+		Outputs: outputs,
+		Stages:  stages,
+	}
+	c.computeTruth()
+	return c
+}
+
+func inv(in, out string) Stage { return Stage{Out: out, F: Lit(in)} }
+
+// buildBase constructs the stage network for a named base function. It
+// returns inputs, outputs, stages, and whether the cell is sequential.
+func buildBase(base string, drive int) *Cell {
+	switch base {
+	case "INV", "CLKINV":
+		return comb(base, drive, []string{"A"}, []string{"Y"}, []Stage{inv("A", "Y")})
+	case "BUF", "CLKBUF":
+		return comb(base, drive, []string{"A"}, []string{"Y"}, []Stage{inv("A", "yn"), inv("yn", "Y")})
+	case "DLY4":
+		return comb(base, drive, []string{"A"}, []string{"Y"}, []Stage{
+			inv("A", "t1"), inv("t1", "t2"), inv("t2", "t3"), inv("t3", "Y"),
+		})
+	case "NAND2", "NAND3", "NAND4", "NAND5":
+		n := int(base[4] - '0')
+		ins := pinLetters[:n]
+		return comb(base, drive, ins, []string{"Y"}, []Stage{{Out: "Y", F: And(litsFor(n)...)}})
+	case "NOR2", "NOR3", "NOR4", "NOR5":
+		n := int(base[3] - '0')
+		ins := pinLetters[:n]
+		return comb(base, drive, ins, []string{"Y"}, []Stage{{Out: "Y", F: Or(litsFor(n)...)}})
+	case "AND2", "AND3", "AND4", "AND5":
+		n := int(base[3] - '0')
+		ins := pinLetters[:n]
+		return comb(base, drive, ins, []string{"Y"}, []Stage{
+			{Out: "yn", F: And(litsFor(n)...)}, inv("yn", "Y"),
+		})
+	case "OR2", "OR3", "OR4", "OR5":
+		n := int(base[2] - '0')
+		ins := pinLetters[:n]
+		return comb(base, drive, ins, []string{"Y"}, []Stage{
+			{Out: "yn", F: Or(litsFor(n)...)}, inv("yn", "Y"),
+		})
+	case "NAND2B": // Y = !(!A & B)
+		return comb(base, drive, []string{"A", "B"}, []string{"Y"}, []Stage{
+			inv("A", "an"), {Out: "Y", F: And(Lit("an"), Lit("B"))},
+		})
+	case "NOR2B": // Y = !(!A | B)
+		return comb(base, drive, []string{"A", "B"}, []string{"Y"}, []Stage{
+			inv("A", "an"), {Out: "Y", F: Or(Lit("an"), Lit("B"))},
+		})
+	case "AND2B": // Y = !A & B
+		return comb(base, drive, []string{"A", "B"}, []string{"Y"}, []Stage{
+			inv("A", "an"), {Out: "yn", F: And(Lit("an"), Lit("B"))}, inv("yn", "Y"),
+		})
+	case "OR2B": // Y = !A | B
+		return comb(base, drive, []string{"A", "B"}, []string{"Y"}, []Stage{
+			inv("A", "an"), {Out: "yn", F: Or(Lit("an"), Lit("B"))}, inv("yn", "Y"),
+		})
+	case "AOI21": // Y = !(A&B | C)
+		return comb(base, drive, pinLetters[:3], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), Lit("C"))},
+		})
+	case "OAI21": // Y = !((A|B) & C)
+		return comb(base, drive, pinLetters[:3], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B")), Lit("C"))},
+		})
+	case "AOI22":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), And(Lit("C"), Lit("D")))},
+		})
+	case "OAI22":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B")), Or(Lit("C"), Lit("D")))},
+		})
+	case "AOI211":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), Lit("C"), Lit("D"))},
+		})
+	case "OAI211":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B")), Lit("C"), Lit("D"))},
+		})
+	case "AOI221":
+		return comb(base, drive, pinLetters[:5], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), And(Lit("C"), Lit("D")), Lit("E"))},
+		})
+	case "OAI221":
+		return comb(base, drive, pinLetters[:5], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B")), Or(Lit("C"), Lit("D")), Lit("E"))},
+		})
+	case "AOI222":
+		return comb(base, drive, pinLetters[:6], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), And(Lit("C"), Lit("D")), And(Lit("E"), Lit("F")))},
+		})
+	case "OAI222":
+		return comb(base, drive, pinLetters[:6], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B")), Or(Lit("C"), Lit("D")), Or(Lit("E"), Lit("F")))},
+		})
+	case "AOI31":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B"), Lit("C")), Lit("D"))},
+		})
+	case "OAI31":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B"), Lit("C")), Lit("D"))},
+		})
+	case "AOI32":
+		return comb(base, drive, pinLetters[:5], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B"), Lit("C")), And(Lit("D"), Lit("E")))},
+		})
+	case "OAI32":
+		return comb(base, drive, pinLetters[:5], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B"), Lit("C")), Or(Lit("D"), Lit("E")))},
+		})
+	case "AOI33":
+		return comb(base, drive, pinLetters[:6], []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B"), Lit("C")), And(Lit("D"), Lit("E"), Lit("F")))},
+		})
+	case "OAI33":
+		return comb(base, drive, pinLetters[:6], []string{"Y"}, []Stage{
+			{Out: "Y", F: And(Or(Lit("A"), Lit("B"), Lit("C")), Or(Lit("D"), Lit("E"), Lit("F")))},
+		})
+	case "AO21":
+		return comb(base, drive, pinLetters[:3], []string{"Y"}, []Stage{
+			{Out: "yn", F: Or(And(Lit("A"), Lit("B")), Lit("C"))}, inv("yn", "Y"),
+		})
+	case "OA21":
+		return comb(base, drive, pinLetters[:3], []string{"Y"}, []Stage{
+			{Out: "yn", F: And(Or(Lit("A"), Lit("B")), Lit("C"))}, inv("yn", "Y"),
+		})
+	case "AO22":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "yn", F: Or(And(Lit("A"), Lit("B")), And(Lit("C"), Lit("D")))}, inv("yn", "Y"),
+		})
+	case "OA22":
+		return comb(base, drive, pinLetters[:4], []string{"Y"}, []Stage{
+			{Out: "yn", F: And(Or(Lit("A"), Lit("B")), Or(Lit("C"), Lit("D")))}, inv("yn", "Y"),
+		})
+	case "XOR2": // Y = !(A&B | !A&!B)
+		return comb(base, drive, []string{"A", "B"}, []string{"Y"}, []Stage{
+			inv("A", "an"), inv("B", "bn"),
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), And(Lit("an"), Lit("bn")))},
+		})
+	case "XNOR2": // Y = !(A&!B | !A&B)
+		return comb(base, drive, []string{"A", "B"}, []string{"Y"}, []Stage{
+			inv("A", "an"), inv("B", "bn"),
+			{Out: "Y", F: Or(And(Lit("A"), Lit("bn")), And(Lit("an"), Lit("B")))},
+		})
+	case "XOR3":
+		return comb(base, drive, []string{"A", "B", "C"}, []string{"Y"}, []Stage{
+			inv("A", "an"), inv("B", "bn"),
+			{Out: "t", F: Or(And(Lit("A"), Lit("B")), And(Lit("an"), Lit("bn")))}, // t = A^B
+			inv("t", "tn"), inv("C", "cn"),
+			{Out: "Y", F: Or(And(Lit("t"), Lit("C")), And(Lit("tn"), Lit("cn")))}, // Y = t^C
+		})
+	case "XNOR3":
+		return comb(base, drive, []string{"A", "B", "C"}, []string{"Y"}, []Stage{
+			inv("A", "an"), inv("B", "bn"),
+			{Out: "t", F: Or(And(Lit("A"), Lit("B")), And(Lit("an"), Lit("bn")))},
+			inv("t", "tn"), inv("C", "cn"),
+			{Out: "Y", F: Or(And(Lit("t"), Lit("cn")), And(Lit("tn"), Lit("C")))}, // Y = !(t^C)
+		})
+	case "MUX2": // Y = S ? B : A
+		return comb(base, drive, []string{"A", "B", "S"}, []string{"Y"}, []Stage{
+			inv("S", "sn"),
+			{Out: "yn", F: Or(And(Lit("A"), Lit("sn")), And(Lit("B"), Lit("S")))},
+			inv("yn", "Y"),
+		})
+	case "MUXI2": // Y = !(S ? B : A)
+		return comb(base, drive, []string{"A", "B", "S"}, []string{"Y"}, []Stage{
+			inv("S", "sn"),
+			{Out: "Y", F: Or(And(Lit("A"), Lit("sn")), And(Lit("B"), Lit("S")))},
+		})
+	case "MUX4": // Y = {S1,S0} selects among A,B,C,D
+		return comb(base, drive, []string{"A", "B", "C", "D", "S0", "S1"}, []string{"Y"}, []Stage{
+			inv("S0", "s0n"), inv("S1", "s1n"),
+			{Out: "yn", F: Or(
+				And(Lit("A"), Lit("s1n"), Lit("s0n")),
+				And(Lit("B"), Lit("s1n"), Lit("S0")),
+				And(Lit("C"), Lit("S1"), Lit("s0n")),
+				And(Lit("D"), Lit("S1"), Lit("S0")),
+			)},
+			inv("yn", "Y"),
+		})
+	case "MAJI3": // Y = !maj(A,B,C)
+		return comb(base, drive, []string{"A", "B", "C"}, []string{"Y"}, []Stage{
+			{Out: "Y", F: Or(And(Lit("A"), Lit("B")), And(Lit("A"), Lit("C")), And(Lit("B"), Lit("C")))},
+		})
+	case "MAJ3":
+		return comb(base, drive, []string{"A", "B", "C"}, []string{"Y"}, []Stage{
+			{Out: "yn", F: Or(And(Lit("A"), Lit("B")), And(Lit("A"), Lit("C")), And(Lit("B"), Lit("C")))},
+			inv("yn", "Y"),
+		})
+	case "HA": // S = A^B, CO = A&B
+		return comb(base, drive, []string{"A", "B"}, []string{"S", "CO"}, []Stage{
+			inv("A", "an"), inv("B", "bn"),
+			{Out: "sn", F: Or(And(Lit("A"), Lit("bn")), And(Lit("an"), Lit("B")))},
+			inv("sn", "S"),
+			{Out: "cn", F: And(Lit("A"), Lit("B"))},
+			inv("cn", "CO"),
+		})
+	case "FA": // mirror full adder
+		return comb(base, drive, []string{"A", "B", "CI"}, []string{"S", "CO"}, []Stage{
+			{Out: "cn", F: Or(And(Lit("A"), Lit("B")), And(Lit("CI"), Or(Lit("A"), Lit("B"))))},
+			inv("cn", "CO"),
+			{Out: "sn", F: Or(And(Lit("A"), Lit("B"), Lit("CI")), And(Lit("cn"), Or(Lit("A"), Lit("B"), Lit("CI"))))},
+			inv("sn", "S"),
+		})
+	}
+	return buildSequential(base, drive)
+}
+
+// buildSequential constructs flop and latch cells from clocked-inverter
+// (C2MOS) master/slave pairs.
+func buildSequential(base string, drive int) *Cell {
+	seq := func(name string, inputs []string, stages []Stage, isFlop, posEdge bool) *Cell {
+		return &Cell{
+			Name:    fmt.Sprintf("%sx%d", name, drive),
+			Base:    name,
+			Drive:   drive,
+			Inputs:  inputs,
+			Outputs: []string{"Q"},
+			Stages:  stages,
+			Seq:     true,
+			Clock:   "CLK",
+			Edge:    posEdge,
+			IsFlop:  isFlop,
+		}
+	}
+	// Master-slave core: master transparent on CLK low (enN=clkb), slave on
+	// CLK high. Q = !si so that Q follows D captured at the rising edge.
+	core := func(extraMaster, extraSlave *Expr) []Stage {
+		moF := Lit("mi")
+		soF := Lit("si")
+		if extraMaster != nil {
+			moF = Or(Lit("mi"), extraMaster)
+		}
+		if extraSlave != nil {
+			soF = Or(Lit("si"), extraSlave)
+		}
+		return []Stage{
+			inv("CLK", "clkb"), inv("clkb", "clki"),
+			{Out: "mi", Tri: &Tri{In: "D", EnN: "clkb", EnP: "clki"}},
+			{Out: "mo", F: moF},
+			{Out: "mi", Tri: &Tri{In: "mo", EnN: "clki", EnP: "clkb"}},
+			{Out: "si", Tri: &Tri{In: "mo", EnN: "clki", EnP: "clkb"}},
+			{Out: "so", F: soF},
+			{Out: "si", Tri: &Tri{In: "so", EnN: "clkb", EnP: "clki"}},
+			inv("si", "Q"),
+		}
+	}
+	switch base {
+	case "DFF":
+		return seq("DFF", []string{"D", "CLK"}, core(nil, nil), true, true)
+	case "DFFN":
+		st := core(nil, nil)
+		// Swap master/slave phases for negative-edge triggering.
+		for i := range st {
+			if st[i].Tri != nil {
+				st[i].Tri.EnN, st[i].Tri.EnP = st[i].Tri.EnP, st[i].Tri.EnN
+			}
+		}
+		return seq("DFFN", []string{"D", "CLK"}, st, true, false)
+	case "DFFR": // active-low async reset RN forces Q = 0
+		st := append([]Stage{inv("RN", "rst")}, core(Lit("rst"), Lit("rst"))...)
+		return seq("DFFR", []string{"D", "CLK", "RN"}, st, true, true)
+	case "DFFS": // active-low async set SN forces Q = 1
+		st := core(nil, nil)
+		// Master forced high and Q forced high via NAND-style gating.
+		for i := range st {
+			switch st[i].Out {
+			case "mo":
+				st[i].F = And(Lit("mi"), Lit("SN"))
+			case "Q":
+				st[i].F = And(Lit("si"), Lit("SN"))
+			}
+		}
+		return seq("DFFS", []string{"D", "CLK", "SN"}, st, true, true)
+	case "SDFF": // scan flop: D/SI selected by SE in front of a DFF
+		front := []Stage{
+			inv("SE", "sen"),
+			{Out: "dm", F: Or(And(Lit("D"), Lit("sen")), And(Lit("SI"), Lit("SE")))},
+			inv("dm", "dmb"),
+		}
+		st := core(nil, nil)
+		// Feed the mux output (dmb = selected data) into the master.
+		for i := range st {
+			if st[i].Tri != nil && st[i].Tri.In == "D" {
+				st[i].Tri.In = "dmb"
+			}
+		}
+		return seq("SDFF", []string{"D", "SI", "SE", "CLK"}, append(front, st...), true, true)
+	case "DLATCH": // transparent when CLK high
+		st := []Stage{
+			inv("CLK", "clkb"), inv("clkb", "clki"),
+			{Out: "li", Tri: &Tri{In: "D", EnN: "clki", EnP: "clkb"}},
+			{Out: "lo", F: Lit("li")},
+			{Out: "li", Tri: &Tri{In: "lo", EnN: "clkb", EnP: "clki"}},
+			inv("li", "Q"),
+		}
+		return seq("DLATCH", []string{"D", "CLK"}, st, false, true)
+	case "DLATCHN": // transparent when CLK low
+		st := []Stage{
+			inv("CLK", "clkb"), inv("clkb", "clki"),
+			{Out: "li", Tri: &Tri{In: "D", EnN: "clkb", EnP: "clki"}},
+			{Out: "lo", F: Lit("li")},
+			{Out: "li", Tri: &Tri{In: "lo", EnN: "clki", EnP: "clkb"}},
+			inv("li", "Q"),
+		}
+		return seq("DLATCHN", []string{"D", "CLK"}, st, false, false)
+	}
+	panic("pdk: unknown base cell " + base)
+}
+
+// driveTable lists the drive strengths offered for each base function,
+// sized like a commercial library: rich fan-up for inverters/buffers and
+// simple gates, fewer options for wide complex gates.
+var driveTable = []struct {
+	base   string
+	drives []int
+}{
+	{"INV", []int{1, 2, 3, 4, 6, 8, 12, 16}},
+	{"BUF", []int{1, 2, 3, 4, 6, 8, 12, 16}},
+	{"CLKINV", []int{1, 2, 4, 8}},
+	{"CLKBUF", []int{1, 2, 4, 8}},
+	{"DLY4", []int{1, 2, 4}},
+	{"NAND2", []int{1, 2, 3, 4, 6, 8}},
+	{"NOR2", []int{1, 2, 3, 4, 6, 8}},
+	{"AND2", []int{1, 2, 3, 4, 6, 8}},
+	{"OR2", []int{1, 2, 3, 4, 6, 8}},
+	{"NAND3", []int{1, 2, 4, 8}},
+	{"NOR3", []int{1, 2, 4, 8}},
+	{"AND3", []int{1, 2, 4, 8}},
+	{"OR3", []int{1, 2, 4, 8}},
+	{"NAND4", []int{1, 2, 4, 8}},
+	{"NOR4", []int{1, 2, 4, 8}},
+	{"AND4", []int{1, 2, 4, 8}},
+	{"OR4", []int{1, 2, 4, 8}},
+	{"NAND5", []int{1, 2}},
+	{"NOR5", []int{1, 2}},
+	{"AND5", []int{1, 2}},
+	{"OR5", []int{1, 2}},
+	{"NAND2B", []int{1, 2}},
+	{"NOR2B", []int{1, 2}},
+	{"AND2B", []int{1, 2}},
+	{"OR2B", []int{1, 2}},
+	{"AOI21", []int{1, 2, 4, 8}},
+	{"OAI21", []int{1, 2, 4, 8}},
+	{"AOI22", []int{1, 2, 4, 8}},
+	{"OAI22", []int{1, 2, 4, 8}},
+	{"AOI211", []int{1, 2, 4}},
+	{"OAI211", []int{1, 2, 4}},
+	{"AOI221", []int{1, 2, 4}},
+	{"OAI221", []int{1, 2}},
+	{"AOI222", []int{1, 2}},
+	{"OAI222", []int{1, 2}},
+	{"AOI31", []int{1, 2}},
+	{"OAI31", []int{1, 2}},
+	{"AOI32", []int{1, 2}},
+	{"OAI32", []int{1, 2}},
+	{"AOI33", []int{1, 2}},
+	{"OAI33", []int{1, 2}},
+	{"AO21", []int{1, 2}},
+	{"OA21", []int{1, 2}},
+	{"AO22", []int{1, 2}},
+	{"OA22", []int{1, 2}},
+	{"XOR2", []int{1, 2, 4, 8}},
+	{"XNOR2", []int{1, 2, 4, 8}},
+	{"XOR3", []int{1, 2}},
+	{"XNOR3", []int{1, 2}},
+	{"MUX2", []int{1, 2, 4, 8}},
+	{"MUXI2", []int{1, 2, 4, 8}},
+	{"MUX4", []int{1, 2}},
+	{"MAJ3", []int{1, 2, 4}},
+	{"MAJI3", []int{1, 2, 4}},
+	{"HA", []int{1, 2, 4}},
+	{"FA", []int{1, 2, 4}},
+	{"DFF", []int{1, 2, 4, 8}},
+	{"DFFN", []int{1, 2}},
+	{"DFFR", []int{1, 2}},
+	{"DFFS", []int{1, 2}},
+	{"SDFF", []int{1, 2}},
+	{"DLATCH", []int{1, 2}},
+	{"DLATCHN", []int{1, 2}},
+}
+
+// Catalog generates the full 200-cell standard-cell library.
+func Catalog() []*Cell {
+	var out []*Cell
+	for _, e := range driveTable {
+		for _, d := range e.drives {
+			out = append(out, buildBase(e.base, d))
+		}
+	}
+	return out
+}
+
+// FindCell returns the catalog cell with the given name, or nil.
+func FindCell(cells []*Cell, name string) *Cell {
+	for _, c := range cells {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

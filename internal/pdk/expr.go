@@ -1,0 +1,151 @@
+// Package pdk provides an ASAP7-style standard-cell library for the target
+// FinFET technology: transistor-level netlist generators for 200
+// combinational and sequential cells, with functional truth tables and
+// drive-strength variants. It substitutes for the paper's post-layout ASAP7
+// netlists — the geometry is near-identical between 7 nm and the 5 nm
+// target, as the paper itself argues.
+package pdk
+
+import "fmt"
+
+// ExprOp is the operator of an Expr node.
+type ExprOp byte
+
+// Expression operators for pull-network topology: a literal names a gate
+// net; And composes its children in series; Or composes them in parallel.
+const (
+	OpLit ExprOp = 'l'
+	OpAnd ExprOp = '&'
+	OpOr  ExprOp = '|'
+)
+
+// Expr describes the pull-down condition of a static CMOS stage as an
+// AND/OR tree over (non-inverted) gate nets. The pull-up network is the
+// structural dual.
+type Expr struct {
+	Op   ExprOp
+	Name string  // literal net name (OpLit only)
+	Kids []*Expr // operands (OpAnd/OpOr)
+}
+
+// Lit returns a literal expression for the named net.
+func Lit(name string) *Expr { return &Expr{Op: OpLit, Name: name} }
+
+// And returns the series composition of the given expressions.
+func And(kids ...*Expr) *Expr { return &Expr{Op: OpAnd, Kids: kids} }
+
+// Or returns the parallel composition of the given expressions.
+func Or(kids ...*Expr) *Expr { return &Expr{Op: OpOr, Kids: kids} }
+
+// Dual returns the structural dual (ANDs and ORs swapped), which describes
+// the pull-up network of a static CMOS stage.
+func (e *Expr) Dual() *Expr {
+	switch e.Op {
+	case OpLit:
+		return e
+	case OpAnd:
+		kids := make([]*Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = k.Dual()
+		}
+		return &Expr{Op: OpOr, Kids: kids}
+	case OpOr:
+		kids := make([]*Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = k.Dual()
+		}
+		return &Expr{Op: OpAnd, Kids: kids}
+	}
+	panic("pdk: bad expr op")
+}
+
+// Eval evaluates the expression under the given net assignment.
+func (e *Expr) Eval(val map[string]bool) bool {
+	switch e.Op {
+	case OpLit:
+		return val[e.Name]
+	case OpAnd:
+		for _, k := range e.Kids {
+			if !k.Eval(val) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range e.Kids {
+			if k.Eval(val) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("pdk: bad expr op")
+}
+
+// SeriesDepth returns the longest series chain (transistor stack height) of
+// the network realizing the expression, where And means series.
+func (e *Expr) SeriesDepth() int {
+	switch e.Op {
+	case OpLit:
+		return 1
+	case OpAnd:
+		d := 0
+		for _, k := range e.Kids {
+			d += k.SeriesDepth()
+		}
+		return d
+	case OpOr:
+		d := 0
+		for _, k := range e.Kids {
+			if kd := k.SeriesDepth(); kd > d {
+				d = kd
+			}
+		}
+		return d
+	}
+	panic("pdk: bad expr op")
+}
+
+// Literals appends every literal net name in the expression to dst (with
+// duplicates) and returns it.
+func (e *Expr) Literals(dst []string) []string {
+	switch e.Op {
+	case OpLit:
+		return append(dst, e.Name)
+	default:
+		for _, k := range e.Kids {
+			dst = k.Literals(dst)
+		}
+		return dst
+	}
+}
+
+// CountDevices returns the transistor count of one pull network realizing
+// the expression.
+func (e *Expr) CountDevices() int {
+	if e.Op == OpLit {
+		return 1
+	}
+	n := 0
+	for _, k := range e.Kids {
+		n += k.CountDevices()
+	}
+	return n
+}
+
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpLit:
+		return e.Name
+	case OpAnd, OpOr:
+		s := "("
+		for i, k := range e.Kids {
+			if i > 0 {
+				s += string(e.Op)
+			}
+			s += k.String()
+		}
+		return s + ")"
+	}
+	return fmt.Sprintf("?%c", e.Op)
+}

@@ -1,0 +1,524 @@
+package pdk
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spice"
+)
+
+func TestCatalogSize(t *testing.T) {
+	cells := Catalog()
+	if len(cells) != 200 {
+		t.Errorf("catalog has %d cells, want 200 (the paper's library size)", len(cells))
+	}
+	names := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if names[c.Name] {
+			t.Errorf("duplicate cell name %s", c.Name)
+		}
+		names[c.Name] = true
+	}
+}
+
+func TestCatalogHasCombAndSeq(t *testing.T) {
+	cells := Catalog()
+	var comb, seq int
+	for _, c := range cells {
+		if c.Seq {
+			seq++
+		} else {
+			comb++
+		}
+	}
+	if comb == 0 || seq == 0 {
+		t.Fatalf("library must contain both combinational (%d) and sequential (%d) cells", comb, seq)
+	}
+	if seq < 10 {
+		t.Errorf("only %d sequential cells; want a realistic flop/latch family", seq)
+	}
+}
+
+func TestTruthTables(t *testing.T) {
+	cells := Catalog()
+	cases := []struct {
+		cell, out string
+		fn        func(bits []bool) bool
+	}{
+		{"INVx1", "Y", func(b []bool) bool { return !b[0] }},
+		{"BUFx1", "Y", func(b []bool) bool { return b[0] }},
+		{"NAND2x1", "Y", func(b []bool) bool { return !(b[0] && b[1]) }},
+		{"NOR3x1", "Y", func(b []bool) bool { return !(b[0] || b[1] || b[2]) }},
+		{"AND4x1", "Y", func(b []bool) bool { return b[0] && b[1] && b[2] && b[3] }},
+		{"OR2x1", "Y", func(b []bool) bool { return b[0] || b[1] }},
+		{"XOR2x1", "Y", func(b []bool) bool { return b[0] != b[1] }},
+		{"XNOR2x1", "Y", func(b []bool) bool { return b[0] == b[1] }},
+		{"XOR3x1", "Y", func(b []bool) bool { return (b[0] != b[1]) != b[2] }},
+		{"AOI21x1", "Y", func(b []bool) bool { return !(b[0] && b[1] || b[2]) }},
+		{"OAI22x1", "Y", func(b []bool) bool { return !((b[0] || b[1]) && (b[2] || b[3])) }},
+		{"AOI222x1", "Y", func(b []bool) bool { return !(b[0] && b[1] || b[2] && b[3] || b[4] && b[5]) }},
+		{"MUX2x1", "Y", func(b []bool) bool {
+			if b[2] {
+				return b[1]
+			}
+			return b[0]
+		}},
+		{"MUX4x1", "Y", func(b []bool) bool {
+			sel := 0
+			if b[4] {
+				sel |= 1
+			}
+			if b[5] {
+				sel |= 2
+			}
+			return b[sel]
+		}},
+		{"MAJ3x1", "Y", func(b []bool) bool {
+			n := 0
+			for _, v := range b[:3] {
+				if v {
+					n++
+				}
+			}
+			return n >= 2
+		}},
+		{"HAx1", "S", func(b []bool) bool { return b[0] != b[1] }},
+		{"HAx1", "CO", func(b []bool) bool { return b[0] && b[1] }},
+		{"FAx1", "S", func(b []bool) bool { return (b[0] != b[1]) != b[2] }},
+		{"FAx1", "CO", func(b []bool) bool {
+			n := 0
+			for _, v := range b[:3] {
+				if v {
+					n++
+				}
+			}
+			return n >= 2
+		}},
+		{"NAND2Bx1", "Y", func(b []bool) bool { return !(!b[0] && b[1]) }},
+		{"AND2Bx1", "Y", func(b []bool) bool { return !b[0] && b[1] }},
+		{"AO21x1", "Y", func(b []bool) bool { return b[0] && b[1] || b[2] }},
+	}
+	for _, cse := range cases {
+		cell := FindCell(cells, cse.cell)
+		if cell == nil {
+			t.Errorf("cell %s missing from catalog", cse.cell)
+			continue
+		}
+		tt, ok := cell.Truth(cse.out)
+		if !ok {
+			t.Errorf("%s: no truth table for output %s", cse.cell, cse.out)
+			continue
+		}
+		n := len(cell.Inputs)
+		for idx := 0; idx < 1<<uint(n); idx++ {
+			bits := make([]bool, n)
+			for i := range bits {
+				bits[i] = idx&(1<<uint(i)) != 0
+			}
+			want := cse.fn(bits)
+			got := tt&(1<<uint(idx)) != 0
+			if got != want {
+				t.Errorf("%s.%s row %d: got %v, want %v", cse.cell, cse.out, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestExprDualInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		e := randExpr(seed, 3)
+		d := e.Dual().Dual()
+		return e.String() == d.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprDualIsComplementOfNegatedInputs(t *testing.T) {
+	// De Morgan: dual(f)(x) == !f(!x) for all assignments.
+	f := func(seed int64) bool {
+		e := randExpr(seed, 3)
+		for idx := 0; idx < 16; idx++ {
+			val := map[string]bool{}
+			neg := map[string]bool{}
+			for i, name := range []string{"A", "B", "C", "D"} {
+				v := idx&(1<<uint(i)) != 0
+				val[name] = v
+				neg[name] = !v
+			}
+			if e.Dual().Eval(val) != !e.Eval(neg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randExpr builds a deterministic pseudo-random expression over A-D.
+func randExpr(seed int64, depth int) *Expr {
+	state := uint64(seed)*2654435761 + 12345
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	var gen func(d int) *Expr
+	gen = func(d int) *Expr {
+		if d == 0 || next(3) == 0 {
+			return Lit([]string{"A", "B", "C", "D"}[next(4)])
+		}
+		k := 2 + next(2)
+		kids := make([]*Expr, k)
+		for i := range kids {
+			kids[i] = gen(d - 1)
+		}
+		if next(2) == 0 {
+			return And(kids...)
+		}
+		return Or(kids...)
+	}
+	return gen(depth)
+}
+
+// evalVector drives a built cell at DC and returns the measured output
+// levels for one input vector.
+func evalVector(t *testing.T, cell *Cell, idx int, temp float64) map[string]float64 {
+	t.Helper()
+	const vdd = 0.7
+	c := spice.New(temp)
+	vddN := c.Node("vdd")
+	c.AddVSource(vddN, spice.Ground, spice.DC(vdd))
+	pins := map[string]spice.NodeID{}
+	for i, in := range cell.Inputs {
+		n := c.Node("in_" + in)
+		pins[in] = n
+		v := 0.0
+		if idx&(1<<uint(i)) != 0 {
+			v = vdd
+		}
+		c.AddVSource(n, spice.Ground, spice.DC(v))
+	}
+	for _, out := range cell.Outputs {
+		pins[out] = c.Node("out_" + out)
+	}
+	if err := cell.Build(c, "dut", pins, vddN); err != nil {
+		t.Fatalf("%s: %v", cell.Name, err)
+	}
+	x, err := c.OpPoint()
+	if err != nil {
+		t.Fatalf("%s vector %d: op point: %v", cell.Name, idx, err)
+	}
+	res := map[string]float64{}
+	for _, out := range cell.Outputs {
+		res[out] = x[pins[out]]
+	}
+	return res
+}
+
+func TestCombinationalCellsFunctionInSPICE(t *testing.T) {
+	// Every x1 combinational cell must realize its truth table at DC, at
+	// both room and cryogenic temperature.
+	cells := Catalog()
+	const vdd = 0.7
+	for _, cell := range cells {
+		if cell.Seq || cell.Drive != 1 {
+			continue
+		}
+		nIn := len(cell.Inputs)
+		for _, temp := range []float64{300, 10} {
+			for idx := 0; idx < 1<<uint(nIn); idx++ {
+				levels := evalVector(t, cell, idx, temp)
+				for _, out := range cell.Outputs {
+					tt, ok := cell.Truth(out)
+					if !ok {
+						t.Fatalf("%s: missing truth for %s", cell.Name, out)
+					}
+					want := tt&(1<<uint(idx)) != 0
+					got := levels[out]
+					if want && got < 0.9*vdd {
+						t.Errorf("%s.%s T=%v vector %d: output %v, want high", cell.Name, out, temp, idx, got)
+					}
+					if !want && got > 0.1*vdd {
+						t.Errorf("%s.%s T=%v vector %d: output %v, want low", cell.Name, out, temp, idx, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDFFCapturesOnRisingEdge(t *testing.T) {
+	const vdd = 0.7
+	cells := Catalog()
+	cell := FindCell(cells, "DFFx1")
+	if cell == nil {
+		t.Fatal("DFFx1 missing")
+	}
+	c := spice.New(300)
+	vddN := c.Node("vdd")
+	c.AddVSource(vddN, spice.Ground, spice.DC(vdd))
+	pins := map[string]spice.NodeID{
+		"D":   c.Node("d"),
+		"CLK": c.Node("clk"),
+		"Q":   c.Node("q"),
+	}
+	// D goes high well before the first rising edge, low before the second.
+	c.AddVSource(pins["D"], spice.Ground, spice.PWL(
+		[2]float64{0, 0}, [2]float64{0.1e-9, vdd},
+		[2]float64{1.1e-9, vdd}, [2]float64{1.15e-9, 0},
+	))
+	c.AddVSource(pins["CLK"], spice.Ground, spice.Pulse(0, vdd, 0.5e-9, 20e-12, 20e-12, 0.5e-9, 1e-9))
+	if err := cell.Build(c, "ff", pins, vddN); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := c.Transient(2.4e-9, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := wf.V("q")
+	sampleAt := func(tm float64) float64 {
+		best := 0
+		for i, tt := range wf.Time {
+			if tt <= tm {
+				best = i
+			}
+		}
+		return q[best]
+	}
+	if v := sampleAt(0.45e-9); v > 0.1*vdd {
+		t.Errorf("Q before first edge = %v, want low", v)
+	}
+	if v := sampleAt(0.9e-9); v < 0.9*vdd {
+		t.Errorf("Q after first rising edge = %v, want high (D was 1)", v)
+	}
+	if v := sampleAt(1.9e-9); v > 0.1*vdd {
+		t.Errorf("Q after second rising edge = %v, want low (D was 0)", v)
+	}
+}
+
+func TestDFFRReset(t *testing.T) {
+	const vdd = 0.7
+	cell := FindCell(Catalog(), "DFFRx1")
+	if cell == nil {
+		t.Fatal("DFFRx1 missing")
+	}
+	c := spice.New(300)
+	vddN := c.Node("vdd")
+	c.AddVSource(vddN, spice.Ground, spice.DC(vdd))
+	pins := map[string]spice.NodeID{
+		"D": c.Node("d"), "CLK": c.Node("clk"), "RN": c.Node("rn"), "Q": c.Node("q"),
+	}
+	c.AddVSource(pins["D"], spice.Ground, spice.DC(vdd))
+	c.AddVSource(pins["CLK"], spice.Ground, spice.Pulse(0, vdd, 0.3e-9, 20e-12, 20e-12, 0.4e-9, 0.8e-9))
+	// Reset asserted (low) after Q has captured 1.
+	c.AddVSource(pins["RN"], spice.Ground, spice.PWL(
+		[2]float64{0, vdd}, [2]float64{1.2e-9, vdd}, [2]float64{1.25e-9, 0},
+	))
+	if err := cell.Build(c, "ff", pins, vddN); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := c.Transient(1.9e-9, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := wf.V("q")
+	// Q captured high after the first edge.
+	var midIdx int
+	for i, tt := range wf.Time {
+		if tt <= 0.9e-9 {
+			midIdx = i
+		}
+	}
+	if q[midIdx] < 0.9*vdd {
+		t.Fatalf("Q did not capture 1 before reset: %v", q[midIdx])
+	}
+	if final := wf.Final(q); final > 0.1*vdd {
+		t.Errorf("Q after async reset = %v, want 0", final)
+	}
+}
+
+func TestDLatchTransparency(t *testing.T) {
+	const vdd = 0.7
+	cell := FindCell(Catalog(), "DLATCHx1")
+	if cell == nil {
+		t.Fatal("DLATCHx1 missing")
+	}
+	c := spice.New(300)
+	vddN := c.Node("vdd")
+	c.AddVSource(vddN, spice.Ground, spice.DC(vdd))
+	pins := map[string]spice.NodeID{"D": c.Node("d"), "CLK": c.Node("clk"), "Q": c.Node("q")}
+	// CLK high (transparent) until 1 ns, then low (opaque); D toggles in
+	// both phases.
+	c.AddVSource(pins["CLK"], spice.Ground, spice.PWL([2]float64{0, vdd}, [2]float64{1.0e-9, vdd}, [2]float64{1.02e-9, 0}))
+	c.AddVSource(pins["D"], spice.Ground, spice.PWL(
+		[2]float64{0, 0}, [2]float64{0.4e-9, 0}, [2]float64{0.42e-9, vdd}, // while transparent -> Q follows
+		[2]float64{1.4e-9, vdd}, [2]float64{1.42e-9, 0}, // while opaque -> Q holds
+	))
+	if err := cell.Build(c, "lat", pins, vddN); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := c.Transient(2.0e-9, 2e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := wf.V("q")
+	idxAt := func(tm float64) int {
+		best := 0
+		for i, tt := range wf.Time {
+			if tt <= tm {
+				best = i
+			}
+		}
+		return best
+	}
+	if v := q[idxAt(0.3e-9)]; v > 0.1*vdd {
+		t.Errorf("transparent phase, D=0: Q=%v want low", v)
+	}
+	if v := q[idxAt(0.8e-9)]; v < 0.9*vdd {
+		t.Errorf("transparent phase, D=1: Q=%v want high", v)
+	}
+	if v := wf.Final(q); v < 0.9*vdd {
+		t.Errorf("opaque phase after D drops: Q=%v want held high", v)
+	}
+}
+
+func TestInputCapPositiveAndScales(t *testing.T) {
+	cells := Catalog()
+	inv1 := FindCell(cells, "INVx1")
+	inv4 := FindCell(cells, "INVx4")
+	c1 := inv1.InputCap("A", 300)
+	c4 := inv4.InputCap("A", 300)
+	if c1 <= 0 {
+		t.Fatalf("INVx1 input cap = %v", c1)
+	}
+	if r := c4 / c1; math.Abs(r-4) > 0.2 {
+		t.Errorf("INVx4/INVx1 input cap ratio = %v, want ~4", r)
+	}
+	// Cryogenic cap slightly lower.
+	if c10 := inv1.InputCap("A", 10); c10 >= c1 {
+		t.Errorf("input cap at 10K (%v) should be below 300K (%v)", c10, c1)
+	}
+}
+
+func TestAreaMonotoneInDrive(t *testing.T) {
+	cells := Catalog()
+	for _, base := range []string{"INV", "NAND2", "XOR2", "DFF"} {
+		a1 := FindCell(cells, base+"x1").Area()
+		a2 := FindCell(cells, base+"x2").Area()
+		if a2 <= a1 {
+			t.Errorf("%s: area x2 (%v) <= x1 (%v)", base, a2, a1)
+		}
+	}
+}
+
+func TestTransistorCounts(t *testing.T) {
+	cells := Catalog()
+	cases := map[string]int{
+		"INVx1":   2,
+		"NAND2x1": 4,
+		"AOI21x1": 6,
+		"XOR2x1":  12, // 2 inverters + 8-device complex stage
+	}
+	for name, want := range cases {
+		got := FindCell(cells, name).TransistorCount()
+		if got != want {
+			t.Errorf("%s: %d transistors, want %d", name, got, want)
+		}
+	}
+	dff := FindCell(cells, "DFFx1")
+	if n := dff.TransistorCount(); n < 16 || n > 32 {
+		t.Errorf("DFFx1 transistor count %d implausible", n)
+	}
+}
+
+func TestBuildRejectsUnconnectedPins(t *testing.T) {
+	cell := FindCell(Catalog(), "NAND2x1")
+	c := spice.New(300)
+	vddN := c.Node("vdd")
+	err := cell.Build(c, "u", map[string]spice.NodeID{"A": c.Node("a")}, vddN)
+	if err == nil || !strings.Contains(err.Error(), "not connected") {
+		t.Errorf("Build with missing pins: err = %v", err)
+	}
+}
+
+func TestComplementaryNetworksInvariant(t *testing.T) {
+	// Static CMOS invariant: for every input vector, exactly one of the
+	// pull-down network (F) and pull-up network (dual of F over inverted
+	// literals) conducts. Violations would mean DC contention or floating
+	// outputs in silicon.
+	for _, cell := range Catalog() {
+		for si, st := range cell.Stages {
+			if st.Tri != nil {
+				continue
+			}
+			lits := st.F.Literals(nil)
+			names := map[string]bool{}
+			for _, l := range lits {
+				names[l] = true
+			}
+			var vars []string
+			for n := range names {
+				vars = append(vars, n)
+			}
+			if len(vars) > 10 {
+				continue
+			}
+			dual := st.F.Dual()
+			for idx := 0; idx < 1<<uint(len(vars)); idx++ {
+				val := map[string]bool{}
+				neg := map[string]bool{}
+				for i, n := range vars {
+					v := idx&(1<<uint(i)) != 0
+					val[n] = v
+					neg[n] = !v
+				}
+				pdnOn := st.F.Eval(val)
+				punOn := dual.Eval(neg)
+				if pdnOn == punOn {
+					t.Fatalf("%s stage %d: PDN and PUN both %v under %v", cell.Name, si, pdnOn, val)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickSeriesDepthBounds(t *testing.T) {
+	// Series depth is at most the literal count and at least 1.
+	f := func(seed int64) bool {
+		e := randExpr(seed, 3)
+		d := e.SeriesDepth()
+		return d >= 1 && d <= len(e.Literals(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCatalogDriveFamiliesShareFunction(t *testing.T) {
+	// All drive variants of a base must implement the same function.
+	byBase := map[string][]*Cell{}
+	for _, c := range Catalog() {
+		byBase[c.Base] = append(byBase[c.Base], c)
+	}
+	for base, family := range byBase {
+		if family[0].Seq {
+			continue
+		}
+		ref, ok := family[0].Truth(family[0].Outputs[0])
+		if !ok {
+			continue
+		}
+		for _, c := range family[1:] {
+			tt, _ := c.Truth(c.Outputs[0])
+			if tt != ref {
+				t.Errorf("%s: drive variants disagree on function", base)
+			}
+		}
+		_ = base
+	}
+}

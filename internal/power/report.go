@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+// CellPower attributes power to one gate instance.
+type CellPower struct {
+	Gate     string
+	Cell     string
+	Leakage  float64
+	Internal float64
+	// Switching charged to the gate's output net.
+	Switching float64
+}
+
+// Total returns the instance's combined power.
+func (c *CellPower) Total() float64 { return c.Leakage + c.Internal + c.Switching }
+
+// Attribute computes the per-instance power breakdown (the "report_power
+// -cell" view of a signoff tool). The sum over instances equals the
+// Report's totals except for primary-input net switching, which has no
+// owning gate.
+func Attribute(nl *netlist.Netlist, lib *liberty.Library, opt Options) ([]CellPower, error) {
+	if opt.ClockPeriod <= 0 {
+		return nil, fmt.Errorf("power: clock period must be positive")
+	}
+	if opt.SimRounds == 0 {
+		opt.SimRounds = 8
+	}
+	timing, err := sta.Analyze(nl, lib, opt.STA)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := nl.ToggleRates(opt.SimRounds, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	freq := 1.0 / opt.ClockPeriod
+	vdd := lib.Vdd
+	out := make([]CellPower, 0, len(nl.Gates))
+	for _, g := range nl.Gates {
+		lc := lib.FindCell(g.Cell)
+		if lc == nil {
+			return nil, fmt.Errorf("power: cell %s not in library", g.Cell)
+		}
+		def := nl.Cell(g.Cell)
+		cp := CellPower{Gate: g.Name, Cell: g.Cell, Leakage: lc.LeakagePower}
+		alpha := rates[g.Output]
+		load := timing.Load[g.Output]
+		if alpha > 0 {
+			outPin := def.Outputs[0]
+			var eSum float64
+			arcs := 0
+			for i, in := range g.Inputs {
+				pw := lc.Power(outPin, def.Inputs[i])
+				if pw == nil {
+					continue
+				}
+				slew := timing.Slew[in]
+				eSum += 0.5 * (pw.RisePower.Lookup(slew, load) + pw.FallPower.Lookup(slew, load))
+				arcs++
+			}
+			if arcs > 0 {
+				cp.Internal = alpha * freq * (eSum / float64(arcs))
+			}
+			cp.Switching = alpha * freq * 0.5 * load * vdd * vdd
+		}
+		out = append(out, cp)
+	}
+	return out, nil
+}
+
+// WriteTopConsumers prints the n highest-power instances as a signoff-style
+// table.
+func WriteTopConsumers(w io.Writer, cells []CellPower, n int) error {
+	sorted := append([]CellPower(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Total() > sorted[j].Total() })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-12s %12s %12s %12s %12s\n",
+		"inst", "cell", "leak(W)", "internal(W)", "switch(W)", "total(W)"); err != nil {
+		return err
+	}
+	for _, c := range sorted[:n] {
+		if _, err := fmt.Fprintf(w, "%-8s %-12s %12.4g %12.4g %12.4g %12.4g\n",
+			c.Gate, c.Cell, c.Leakage, c.Internal, c.Switching, c.Total()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

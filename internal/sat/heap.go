@@ -1,0 +1,93 @@
+package sat
+
+// varHeap is a binary max-heap over variable activities with lazy
+// re-insertion: popped variables that turn out to be assigned are simply
+// skipped, and unassignment pushes variables back. indices[v] < 0 means v is
+// not currently in the heap.
+type varHeap struct {
+	data    []int
+	indices []int
+}
+
+func (h *varHeap) less(s *Solver, a, b int) bool {
+	return s.activity[h.data[a]] > s.activity[h.data[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.data[a], h.data[b] = h.data[b], h.data[a]
+	h.indices[h.data[a]] = a
+	h.indices[h.data[b]] = b
+}
+
+func (h *varHeap) up(s *Solver, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(s, i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(s *Solver, i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(s, l, best) {
+			best = l
+		}
+		if r < n && h.less(s, r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// push inserts v if absent.
+func (h *varHeap) push(s *Solver, v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.indices[v] = len(h.data) - 1
+	h.up(s, len(h.data)-1)
+}
+
+// bump restores heap order after v's activity increased.
+func (h *varHeap) bump(s *Solver, v int) {
+	if v < len(h.indices) && h.indices[v] >= 0 {
+		h.up(s, h.indices[v])
+	}
+}
+
+// popMax removes and returns the highest-activity variable.
+func (h *varHeap) popMax(s *Solver) (int, bool) {
+	if len(h.data) == 0 {
+		return 0, false
+	}
+	v := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	h.indices[v] = -1
+	if len(h.data) > 0 {
+		h.down(s, 0)
+	}
+	return v, true
+}
+
+// rebuild re-establishes heap order after a global activity rescale.
+func (h *varHeap) rebuild(s *Solver) {
+	for i := len(h.data)/2 - 1; i >= 0; i-- {
+		h.down(s, i)
+	}
+}

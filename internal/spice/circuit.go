@@ -1,0 +1,176 @@
+// Package spice implements a SPICE-class circuit simulator: modified nodal
+// analysis with Newton-Raphson DC operating-point solution and
+// backward-Euler transient analysis. It substitutes for the commercial SPICE
+// engine the paper uses for standard-cell characterization: the cryogenic
+// compact model from internal/device is evaluated directly as the MOSFET
+// element.
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+)
+
+// NodeID identifies a circuit node. Ground is a fixed negative ID.
+type NodeID int
+
+// Ground is the reference node ("0" / "gnd" / "vss" in netlists map to it).
+const Ground NodeID = -1
+
+// Circuit is a flat transistor-level circuit at a fixed temperature.
+type Circuit struct {
+	Temp  float64 // simulation temperature in kelvin
+	names []string
+	index map[string]NodeID
+	elems []element
+	nvsrc int
+}
+
+// New returns an empty circuit that will be simulated at the given
+// temperature.
+func New(tempK float64) *Circuit {
+	return &Circuit{Temp: tempK, index: make(map[string]NodeID)}
+}
+
+// Node interns a node name and returns its ID. The names "0", "gnd", and
+// "vss!" style ground aliases return Ground.
+func (c *Circuit) Node(name string) NodeID {
+	switch name {
+	case "0", "gnd", "GND", "vss", "VSS":
+		return Ground
+	}
+	if id, ok := c.index[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.names))
+	c.names = append(c.names, name)
+	c.index[name] = id
+	return id
+}
+
+// NodeName returns the interned name for an ID.
+func (c *Circuit) NodeName(id NodeID) string {
+	if id == Ground {
+		return "0"
+	}
+	return c.names[id]
+}
+
+// LookupNode returns the ID of an already-interned node without creating
+// it.
+func (c *Circuit) LookupNode(name string) (NodeID, bool) {
+	id, ok := c.index[name]
+	return id, ok
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// element is anything that can stamp itself into the MNA system.
+type element interface {
+	stamp(ctx *stampCtx)
+}
+
+// AddResistor adds a linear resistor between nodes a and b.
+func (c *Circuit) AddResistor(a, b NodeID, ohms float64) {
+	c.elems = append(c.elems, &resistor{a, b, ohms})
+}
+
+// AddCapacitor adds a linear capacitor between nodes a and b.
+func (c *Circuit) AddCapacitor(a, b NodeID, farads float64) {
+	c.elems = append(c.elems, &capacitor{a, b, farads})
+}
+
+// SourceFn gives a source value at time t (seconds). DC analyses evaluate it
+// at t = 0.
+type SourceFn func(t float64) float64
+
+// DC returns a constant source function.
+func DC(v float64) SourceFn { return func(float64) float64 { return v } }
+
+// PWL returns a piecewise-linear source through the given (time, value)
+// points, which must be time-sorted. Before the first point the first value
+// holds; after the last, the last value holds.
+func PWL(pts ...[2]float64) SourceFn {
+	return func(t float64) float64 {
+		if len(pts) == 0 {
+			return 0
+		}
+		if t <= pts[0][0] {
+			return pts[0][1]
+		}
+		for i := 1; i < len(pts); i++ {
+			if t <= pts[i][0] {
+				t0, v0 := pts[i-1][0], pts[i-1][1]
+				t1, v1 := pts[i][0], pts[i][1]
+				if t1 == t0 {
+					return v1
+				}
+				return v0 + (v1-v0)*(t-t0)/(t1-t0)
+			}
+		}
+		return pts[len(pts)-1][1]
+	}
+}
+
+// Pulse returns a SPICE-style pulse source: v1 -> v2 with the given delay,
+// rise, fall, width, and period.
+func Pulse(v1, v2, delay, rise, fall, width, period float64) SourceFn {
+	return func(t float64) float64 {
+		if t < delay {
+			return v1
+		}
+		tt := math.Mod(t-delay, period)
+		switch {
+		case tt < rise:
+			return v1 + (v2-v1)*tt/rise
+		case tt < rise+width:
+			return v2
+		case tt < rise+width+fall:
+			return v2 + (v1-v2)*(tt-rise-width)/fall
+		default:
+			return v1
+		}
+	}
+}
+
+// AddVSource adds an independent voltage source (pos relative to neg) and
+// returns its branch index for current measurement.
+func (c *Circuit) AddVSource(pos, neg NodeID, fn SourceFn) int {
+	idx := c.nvsrc
+	c.nvsrc++
+	c.elems = append(c.elems, &vsource{pos, neg, idx, fn})
+	return idx
+}
+
+// AddISource adds an independent current source pushing current from node
+// "from" to node "to" (through the external circuit from "to" back to
+// "from").
+func (c *Circuit) AddISource(from, to NodeID, fn SourceFn) {
+	c.elems = append(c.elems, &isource{from, to, fn})
+}
+
+// AddClamp attaches a switchable conductance from the node toward a target
+// voltage: i = g(t)*(v - vtarget). A zero conductance disables it. Used to
+// steer bistable feedback loops onto a stable branch during operating-point
+// analysis.
+func (c *Circuit) AddClamp(node NodeID, vtarget float64, g SourceFn) {
+	c.elems = append(c.elems, &clamp{node: node, vt: vtarget, g: g})
+}
+
+// AddMOSFET adds a FinFET with the given compact model between drain, gate,
+// source, and bulk nodes.
+func (c *Circuit) AddMOSFET(m *device.Model, d, g, s, b NodeID) {
+	c.elems = append(c.elems, &mosfet{m, d, g, s, b})
+}
+
+// systemSize returns the MNA unknown count: node voltages plus source branch
+// currents.
+func (c *Circuit) systemSize() int { return len(c.names) + c.nvsrc }
+
+func (c *Circuit) String() string {
+	return fmt.Sprintf("spice.Circuit{T=%gK, nodes=%d, elems=%d, vsrc=%d}",
+		c.Temp, len(c.names), len(c.elems), c.nvsrc)
+}

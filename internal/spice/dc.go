@@ -1,0 +1,205 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/constants"
+	"repro/internal/linalg"
+)
+
+// ErrNoConvergence is returned when Newton iteration fails even with gmin
+// stepping and temperature continuation.
+var ErrNoConvergence = errors.New("spice: operating point did not converge")
+
+var debugNewton = os.Getenv("SPICE_DEBUG") != ""
+
+const (
+	newtonTolV  = 1e-6
+	newtonMaxIt = 400
+	baseGmin    = 1e-12
+)
+
+// dampFor returns the Newton trust region for a given temperature. At
+// cryogenic temperatures the subthreshold exponential steepens to a few
+// millivolts per decade, so voltage steps must shrink accordingly.
+func dampFor(tempK float64) float64 {
+	vt := constants.ThermalVoltage(math.Max(tempK, 35))
+	d := 60 * vt
+	if d > 0.4 {
+		d = 0.4
+	}
+	if d < 0.03 {
+		d = 0.03
+	}
+	return d
+}
+
+// OpPoint solves the DC operating point at t = 0 and returns the solution
+// vector (node voltages followed by voltage-source branch currents).
+func (c *Circuit) OpPoint() ([]float64, error) {
+	return c.opAt(0, nil, 0, nil)
+}
+
+// OpPointFrom solves the DC operating point seeded with an initial guess —
+// used to re-solve after removing a symmetry-breaking aid, keeping the
+// solution on the same stable branch of a bistable circuit.
+func (c *Circuit) OpPointFrom(guess []float64) ([]float64, error) {
+	return c.opAt(0, nil, 0, guess)
+}
+
+// opAt runs Newton-Raphson at the given time. For transient steps, prev is
+// the previous solution (used by capacitor companions) and dt > 0. guess
+// seeds the iteration when non-nil.
+func (c *Circuit) opAt(t float64, prev []float64, dt float64, guess []float64) ([]float64, error) {
+	n := c.systemSize()
+	x := make([]float64, n)
+	if guess != nil {
+		copy(x, guess)
+	}
+	if sol, err := c.newton(t, prev, dt, x, baseGmin, c.Temp); err == nil {
+		return sol, nil
+	}
+	// Fallback 1: gmin continuation — solve with heavy gmin and relax,
+	// keeping any caller-provided guess so warm starts stay on their branch
+	// (bistable circuits!).
+	if sol, err := c.gminLadderFrom(t, prev, dt, c.Temp, x); err == nil {
+		return sol, nil
+	}
+	// Fallback 2: temperature continuation. The 300 K system is far better
+	// conditioned (gentler exponentials); walk the solution down to the
+	// target temperature, warm-starting each rung from the caller's guess.
+	ladder := []float64{300, 150, 77, 40, 20, 12, c.Temp}
+	x = make([]float64, n)
+	if guess != nil {
+		copy(x, guess)
+	}
+	solved := false
+	for _, temp := range ladder {
+		if temp < c.Temp {
+			temp = c.Temp
+		}
+		sol, err := c.newton(t, prev, dt, x, baseGmin, temp)
+		if err != nil {
+			sol, err = c.gminLadderFrom(t, prev, dt, temp, x)
+			if err != nil {
+				return nil, fmt.Errorf("%w (temperature continuation at %g K)", ErrNoConvergence, temp)
+			}
+		}
+		x = sol
+		if temp == c.Temp {
+			solved = true
+			break
+		}
+	}
+	if !solved {
+		// c.Temp > 300: finish directly.
+		sol, err := c.newton(t, prev, dt, x, baseGmin, c.Temp)
+		if err != nil {
+			return nil, err
+		}
+		x = sol
+	}
+	return x, nil
+}
+
+func (c *Circuit) gminLadderFrom(t float64, prev []float64, dt, temp float64, x0 []float64) ([]float64, error) {
+	x := append([]float64(nil), x0...)
+	for _, gmin := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, baseGmin} {
+		sol, err := c.newton(t, prev, dt, x, gmin, temp)
+		if err != nil {
+			return nil, fmt.Errorf("%w (gmin=%g)", ErrNoConvergence, gmin)
+		}
+		x = sol
+	}
+	return x, nil
+}
+
+// newton runs damped Newton-Raphson with a fixed gmin at the given
+// temperature.
+func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gmin, temp float64) ([]float64, error) {
+	n := c.systemSize()
+	nNode := len(c.names)
+	g := linalg.NewMatrix(n)
+	b := make([]float64, n)
+	x := append([]float64(nil), x0...)
+
+	damp := dampFor(temp)
+	for it := 0; it < newtonMaxIt; it++ {
+		// Shrink the trust region if the iteration is slow to settle, which
+		// breaks limit cycles around high-impedance internal nodes.
+		if it > 0 && it%60 == 0 {
+			damp *= 0.5
+		}
+		g.Zero()
+		for i := range b {
+			b[i] = 0
+		}
+		ctx := &stampCtx{g: g, b: b, x: x, prev: prev, time: t, dt: dt, nNode: nNode, gmin: gmin, temp: temp}
+		for _, e := range c.elems {
+			e.stamp(ctx)
+		}
+		for i := 0; i < nNode; i++ {
+			g.Add(i, i, gmin)
+		}
+		// Residual acceptance: at the expansion point the Newton companion
+		// currents equal the true nonlinear currents, so G*x - b is the
+		// exact KCL/KVL residual. Floating nodes between OFF devices can
+		// two-cycle at millivolt amplitude while carrying femtoamps; when
+		// every node balances to < 1 pA and every source constraint to
+		// < 1 nV, the point is a solution for all practical purposes.
+		if it > 0 {
+			ok := true
+			for i := 0; i < n && ok; i++ {
+				var r float64
+				for j := 0; j < n; j++ {
+					r += g.At(i, j) * x[j]
+				}
+				r -= b[i]
+				tol := 1e-12 // node row: amperes
+				if i >= nNode {
+					tol = 1e-9 // source row: volts
+				}
+				if math.Abs(r) > tol {
+					ok = false
+				}
+			}
+			if ok {
+				return x, nil
+			}
+		}
+		xNew, err := linalg.SolveSystem(g, b)
+		if err != nil {
+			return nil, err
+		}
+		// Damping: limit per-node voltage moves to keep the exponential
+		// device model inside its linearization trust region. Convergence is
+		// judged on the full Newton proposal, not the clipped step, so a
+		// forcibly shrunk trust region cannot fake convergence.
+		var maxDV float64
+		for i := 0; i < nNode; i++ {
+			dv := xNew[i] - x[i]
+			if a := math.Abs(dv); a > maxDV {
+				maxDV = a
+			}
+			if dv > damp {
+				dv = damp
+			} else if dv < -damp {
+				dv = -damp
+			}
+			x[i] += dv
+		}
+		for i := nNode; i < n; i++ {
+			x[i] = xNew[i]
+		}
+		if maxDV < newtonTolV {
+			return x, nil
+		}
+		if debugNewton && it > newtonMaxIt-20 {
+			fmt.Printf("newton it=%d temp=%g gmin=%g maxDV=%.3e x=%.4v\n", it, temp, gmin, maxDV, x)
+		}
+	}
+	return nil, ErrNoConvergence
+}

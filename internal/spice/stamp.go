@@ -1,0 +1,184 @@
+package spice
+
+import (
+	"repro/internal/device"
+	"repro/internal/linalg"
+)
+
+// stampCtx carries the MNA system being assembled for one Newton iteration.
+type stampCtx struct {
+	g     *linalg.Matrix // conductance/incidence matrix
+	b     []float64      // right-hand side
+	x     []float64      // current Newton iterate (node voltages + branch currents)
+	prev  []float64      // previous-timestep solution (nil for DC)
+	time  float64        // current time (s); 0 for DC
+	dt    float64        // timestep (s); 0 for DC
+	nNode int            // number of node-voltage unknowns
+	gmin  float64        // convergence-aid conductance to ground
+	temp  float64        // simulation temperature (K)
+}
+
+// volt returns the voltage of a node in the solution vector x.
+func volt(x []float64, n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return x[n]
+}
+
+// addG stamps a conductance between two nodes.
+func (ctx *stampCtx) addG(a, b NodeID, g float64) {
+	if a != Ground {
+		ctx.g.Add(int(a), int(a), g)
+	}
+	if b != Ground {
+		ctx.g.Add(int(b), int(b), g)
+	}
+	if a != Ground && b != Ground {
+		ctx.g.Add(int(a), int(b), -g)
+		ctx.g.Add(int(b), int(a), -g)
+	}
+}
+
+// addI stamps a current source of value i flowing from node "from" into node
+// "to" (i.e. i is extracted from "from" and injected into "to").
+func (ctx *stampCtx) addI(from, to NodeID, i float64) {
+	if from != Ground {
+		ctx.b[from] -= i
+	}
+	if to != Ground {
+		ctx.b[to] += i
+	}
+}
+
+type resistor struct {
+	a, b NodeID
+	r    float64
+}
+
+func (r *resistor) stamp(ctx *stampCtx) {
+	ctx.addG(r.a, r.b, 1.0/r.r)
+}
+
+type capacitor struct {
+	a, b NodeID
+	c    float64
+}
+
+func (c *capacitor) stamp(ctx *stampCtx) {
+	if ctx.dt <= 0 {
+		return // open circuit at DC
+	}
+	// Backward-Euler companion: i = C/dt*(v - vPrev) -> conductance C/dt in
+	// parallel with a history current source.
+	geq := c.c / ctx.dt
+	vp := volt(ctx.prev, c.a) - volt(ctx.prev, c.b)
+	ctx.addG(c.a, c.b, geq)
+	// History term: inject geq*vp from b into a.
+	ctx.addI(c.b, c.a, geq*vp)
+}
+
+type vsource struct {
+	pos, neg NodeID
+	branch   int
+	fn       SourceFn
+}
+
+func (v *vsource) stamp(ctx *stampCtx) {
+	k := ctx.nNode + v.branch
+	if v.pos != Ground {
+		ctx.g.Add(int(v.pos), k, 1)
+		ctx.g.Add(k, int(v.pos), 1)
+	}
+	if v.neg != Ground {
+		ctx.g.Add(int(v.neg), k, -1)
+		ctx.g.Add(k, int(v.neg), -1)
+	}
+	ctx.b[k] += v.fn(ctx.time)
+}
+
+// clamp is a switchable conductance to a target voltage: i = g(t)*(v - vt).
+// With g = 0 it vanishes. Used to force bistable circuits onto a chosen
+// branch before re-solving unaided.
+type clamp struct {
+	node NodeID
+	vt   float64
+	g    SourceFn
+}
+
+func (cl *clamp) stamp(ctx *stampCtx) {
+	g := cl.g(ctx.time)
+	if g == 0 || cl.node == Ground {
+		return
+	}
+	ctx.g.Add(int(cl.node), int(cl.node), g)
+	ctx.b[cl.node] += g * cl.vt
+}
+
+type isource struct {
+	from, to NodeID
+	fn       SourceFn
+}
+
+func (s *isource) stamp(ctx *stampCtx) {
+	ctx.addI(s.from, s.to, s.fn(ctx.time))
+}
+
+// mosfet stamps the linearized cryogenic compact model plus its Meyer-style
+// device capacitances.
+type mosfet struct {
+	m          *device.Model
+	d, g, s, b NodeID
+}
+
+func (t *mosfet) stamp(ctx *stampCtx) {
+	vd := volt(ctx.x, t.d)
+	vg := volt(ctx.x, t.g)
+	vs := volt(ctx.x, t.s)
+	vgs := vg - vs
+	vds := vd - vs
+
+	ids, gm, gds := t.m.Conductances(vgs, vds, ctx.temp)
+
+	// Linearized drain current: i = ids + gm*(dvgs) + gds*(dvds).
+	// Equivalent current source for the Newton companion.
+	ieq := ids - gm*vgs - gds*vds
+
+	// gds between d and s.
+	ctx.addG(t.d, t.s, gds)
+	// gm as a voltage-controlled current source d<-s controlled by (g,s).
+	if t.d != Ground {
+		if t.g != Ground {
+			ctx.g.Add(int(t.d), int(t.g), gm)
+		}
+		if t.s != Ground {
+			ctx.g.Add(int(t.d), int(t.s), -gm)
+		}
+	}
+	if t.s != Ground {
+		if t.g != Ground {
+			ctx.g.Add(int(t.s), int(t.g), -gm)
+		}
+		if t.s != Ground {
+			ctx.g.Add(int(t.s), int(t.s), gm)
+		}
+	}
+	// ieq flows from drain to source inside the device.
+	ctx.addI(t.d, t.s, ieq)
+
+	// Device capacitances (bias-averaged Meyer split) — only in transient.
+	if ctx.dt > 0 {
+		cg := t.m.GateCap(ctx.temp)
+		cj := t.m.JunctionCap(ctx.temp)
+		stampCap := func(a, b NodeID, c float64) {
+			geq := c / ctx.dt
+			vp := volt(ctx.prev, a) - volt(ctx.prev, b)
+			ctx.addG(a, b, geq)
+			ctx.addI(b, a, geq*vp)
+		}
+		stampCap(t.g, t.s, cg/2)
+		stampCap(t.g, t.d, cg/2)
+		stampCap(t.d, t.b, cj)
+		stampCap(t.s, t.b, cj)
+	}
+}

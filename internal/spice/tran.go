@@ -1,0 +1,155 @@
+package spice
+
+import "fmt"
+
+// Waveform holds the sampled results of a transient analysis.
+type Waveform struct {
+	Time    []float64
+	circuit *Circuit
+	// samples[i] is the full solution vector at Time[i].
+	samples [][]float64
+}
+
+// Transient runs a transient analysis from 0 to tstop with the given fixed
+// timestep. The initial condition is the DC operating point with the sources
+// evaluated at t = 0.
+func (c *Circuit) Transient(tstop, dt float64) (*Waveform, error) {
+	if dt <= 0 || tstop <= 0 {
+		return nil, fmt.Errorf("spice: invalid transient window tstop=%g dt=%g", tstop, dt)
+	}
+	x, err := c.OpPoint()
+	if err != nil {
+		return nil, fmt.Errorf("spice: initial operating point: %w", err)
+	}
+	wf := &Waveform{circuit: c}
+	record := func(t float64, sol []float64) {
+		wf.Time = append(wf.Time, t)
+		wf.samples = append(wf.samples, append([]float64(nil), sol...))
+	}
+	record(0, x)
+	steps := int(tstop/dt + 0.5)
+	for i := 1; i <= steps; i++ {
+		t := float64(i) * dt
+		next, err := c.opAt(t, x, dt, x)
+		if err != nil {
+			// Retry the step at a quarter of the stride for robustness
+			// around sharp input edges.
+			fine := dt / 4
+			cur := x
+			ok := true
+			for j := 1; j <= 4; j++ {
+				sub, errSub := c.opAt(t-dt+float64(j)*fine, cur, fine, cur)
+				if errSub != nil {
+					ok = false
+					break
+				}
+				cur = sub
+			}
+			if !ok {
+				return nil, fmt.Errorf("spice: transient step at t=%g: %w", t, err)
+			}
+			next = cur
+		}
+		record(t, next)
+		x = next
+	}
+	return wf, nil
+}
+
+// V returns the voltage waveform at the named node.
+func (w *Waveform) V(node string) []float64 {
+	id := w.circuit.Node(node)
+	out := make([]float64, len(w.samples))
+	if id == Ground {
+		return out
+	}
+	for i, s := range w.samples {
+		out[i] = s[id]
+	}
+	return out
+}
+
+// BranchCurrent returns the current waveform through the voltage source with
+// the given branch index, in the MNA convention (positive current flows from
+// the pos terminal through the source to the neg terminal).
+func (w *Waveform) BranchCurrent(branch int) []float64 {
+	n := w.circuit.NumNodes()
+	out := make([]float64, len(w.samples))
+	for i, s := range w.samples {
+		out[i] = s[n+branch]
+	}
+	return out
+}
+
+// SupplyEnergy integrates the energy delivered by the voltage source with
+// the given branch index over the full waveform, in joules. For a supply,
+// delivered current flows out of the pos terminal, which is the negative of
+// the MNA branch current.
+func (w *Waveform) SupplyEnergy(branch int, fn SourceFn) float64 {
+	cur := w.BranchCurrent(branch)
+	var e float64
+	for i := 1; i < len(w.Time); i++ {
+		dt := w.Time[i] - w.Time[i-1]
+		p0 := -cur[i-1] * fn(w.Time[i-1])
+		p1 := -cur[i] * fn(w.Time[i])
+		e += 0.5 * (p0 + p1) * dt
+	}
+	return e
+}
+
+// CrossTime returns the first time after "after" at which the signal crosses
+// the threshold in the requested direction, using linear interpolation. The
+// second return value reports whether a crossing was found.
+func (w *Waveform) CrossTime(signal []float64, threshold float64, rising bool, after float64) (float64, bool) {
+	for i := 1; i < len(w.Time); i++ {
+		if w.Time[i] < after {
+			continue
+		}
+		a, b := signal[i-1], signal[i]
+		var hit bool
+		if rising {
+			hit = a < threshold && b >= threshold
+		} else {
+			hit = a > threshold && b <= threshold
+		}
+		if hit {
+			frac := (threshold - a) / (b - a)
+			return w.Time[i-1] + frac*(w.Time[i]-w.Time[i-1]), true
+		}
+	}
+	return 0, false
+}
+
+// TransitionTime returns the time the signal takes to move between the low
+// and high measurement thresholds (in either direction), searching after the
+// given time. It reports false when the transition is not found.
+func (w *Waveform) TransitionTime(signal []float64, vLow, vHigh float64, rising bool, after float64) (float64, bool) {
+	if rising {
+		t0, ok0 := w.CrossTime(signal, vLow, true, after)
+		if !ok0 {
+			return 0, false
+		}
+		t1, ok1 := w.CrossTime(signal, vHigh, true, t0)
+		if !ok1 {
+			return 0, false
+		}
+		return t1 - t0, true
+	}
+	t0, ok0 := w.CrossTime(signal, vHigh, false, after)
+	if !ok0 {
+		return 0, false
+	}
+	t1, ok1 := w.CrossTime(signal, vLow, false, t0)
+	if !ok1 {
+		return 0, false
+	}
+	return t1 - t0, true
+}
+
+// Final returns the last sampled value of the signal.
+func (w *Waveform) Final(signal []float64) float64 {
+	if len(signal) == 0 {
+		return 0
+	}
+	return signal[len(signal)-1]
+}

@@ -1,0 +1,187 @@
+// Package sta implements static timing analysis over liberty NLDM tables:
+// topological arrival-time and slew propagation with per-net capacitive
+// loads, reporting the critical path. Together with internal/power it plays
+// the role of the paper's Synopsys PrimeTime signoff step.
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+)
+
+// Options configures an STA run.
+type Options struct {
+	InputSlew float64 // transition time assumed at primary inputs (default 10 ps)
+	OutputCap float64 // load added to primary-output nets (default 1 fF)
+	WireCap   float64 // extra capacitance per fanout connection (default 0.1 fF)
+}
+
+// Result holds the analysis outcome.
+type Result struct {
+	// CriticalDelay is the worst arrival time over all primary outputs.
+	CriticalDelay float64
+	// Arrival and Slew are per-net worst-case values.
+	Arrival map[string]float64
+	Slew    map[string]float64
+	// Load is the capacitive load per net.
+	Load map[string]float64
+	// CriticalPath lists the nets of the worst path, output first.
+	CriticalPath []string
+
+	nl  *netlist.Netlist
+	lib *liberty.Library
+	opt Options
+}
+
+// Analyze runs STA on a mapped netlist against its characterized library.
+func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, error) {
+	if opt.InputSlew == 0 {
+		opt.InputSlew = 10e-12
+	}
+	if opt.OutputCap == 0 {
+		opt.OutputCap = 1e-15
+	}
+	if opt.WireCap == 0 {
+		opt.WireCap = 0.1e-15
+	}
+	res := &Result{
+		Arrival: make(map[string]float64),
+		Slew:    make(map[string]float64),
+		Load:    make(map[string]float64),
+	}
+	// Net loads: sum of load-pin capacitances plus wire estimate.
+	loads := make(map[string]float64)
+	for _, g := range nl.Gates {
+		lc := lib.FindCell(g.Cell)
+		if lc == nil {
+			return nil, fmt.Errorf("sta: cell %s not in library %s", g.Cell, lib.Name)
+		}
+		def := nl.Cell(g.Cell)
+		for i, net := range g.Inputs {
+			pin := lc.FindPin(def.Inputs[i])
+			if pin == nil {
+				return nil, fmt.Errorf("sta: cell %s pin %s missing", g.Cell, def.Inputs[i])
+			}
+			loads[net] += pin.Cap + opt.WireCap
+		}
+	}
+	for _, out := range nl.Outputs {
+		loads[nl.Resolve(out)] += opt.OutputCap
+	}
+	res.Load = loads
+
+	prev := make(map[string]string) // net -> worst-path predecessor net
+	for _, in := range nl.Inputs {
+		res.Arrival[in] = 0
+		res.Slew[in] = opt.InputSlew
+	}
+	for _, g := range nl.Gates {
+		lc := lib.FindCell(g.Cell)
+		def := nl.Cell(g.Cell)
+		outPin := def.Outputs[0]
+		load := loads[g.Output]
+		worstArr, worstSlew := 0.0, opt.InputSlew
+		worstFrom := ""
+		for i, net := range g.Inputs {
+			tm := lc.Timing(outPin, def.Inputs[i])
+			if tm == nil {
+				return nil, fmt.Errorf("sta: cell %s missing arc %s->%s", g.Cell, def.Inputs[i], outPin)
+			}
+			inArr, ok := res.Arrival[net]
+			if !ok {
+				return nil, fmt.Errorf("sta: net %s has no arrival (gate %s)", net, g.Name)
+			}
+			inSlew := res.Slew[net]
+			d := tm.CellRise.Lookup(inSlew, load)
+			if f := tm.CellFall.Lookup(inSlew, load); f > d {
+				d = f
+			}
+			tr := tm.RiseTrans.Lookup(inSlew, load)
+			if f := tm.FallTrans.Lookup(inSlew, load); f > tr {
+				tr = f
+			}
+			if arr := inArr + d; arr > worstArr {
+				worstArr = arr
+				worstFrom = net
+			}
+			if tr > worstSlew {
+				worstSlew = tr
+			}
+		}
+		res.Arrival[g.Output] = worstArr
+		res.Slew[g.Output] = worstSlew
+		prev[g.Output] = worstFrom
+	}
+	// Critical output.
+	worstNet := ""
+	for _, out := range nl.Outputs {
+		net := nl.Resolve(out)
+		arr, ok := res.Arrival[net]
+		if !ok {
+			return nil, fmt.Errorf("sta: output %s undriven", out)
+		}
+		if arr >= res.CriticalDelay {
+			res.CriticalDelay = arr
+			worstNet = net
+		}
+	}
+	for net := worstNet; net != ""; net = prev[net] {
+		res.CriticalPath = append(res.CriticalPath, net)
+	}
+	res.nl, res.lib, res.opt = nl, lib, opt
+	return res, nil
+}
+
+// Slacks computes per-net slack against the given clock period: the
+// backward-propagated required time minus the arrival time. Negative slack
+// marks a timing violation.
+func (r *Result) Slacks(clockPeriod float64) map[string]float64 {
+	nl, lib := r.nl, r.lib
+	required := make(map[string]float64, len(r.Arrival))
+	for net := range r.Arrival {
+		required[net] = clockPeriod
+	}
+	// Walk gates in reverse topological order, tightening input required
+	// times through each arc's delay at the gate's operating point.
+	for gi := len(nl.Gates) - 1; gi >= 0; gi-- {
+		g := nl.Gates[gi]
+		lc := lib.FindCell(g.Cell)
+		def := nl.Cell(g.Cell)
+		outPin := def.Outputs[0]
+		load := r.Load[g.Output]
+		outReq := required[g.Output]
+		for i, net := range g.Inputs {
+			tm := lc.Timing(outPin, def.Inputs[i])
+			if tm == nil {
+				continue
+			}
+			inSlew := r.Slew[net]
+			d := tm.CellRise.Lookup(inSlew, load)
+			if f := tm.CellFall.Lookup(inSlew, load); f > d {
+				d = f
+			}
+			if req := outReq - d; req < required[net] {
+				required[net] = req
+			}
+		}
+	}
+	slacks := make(map[string]float64, len(r.Arrival))
+	for net, arr := range r.Arrival {
+		slacks[net] = required[net] - arr
+	}
+	return slacks
+}
+
+// WorstSlack returns the minimum slack over all nets for the given clock
+// period.
+func (r *Result) WorstSlack(clockPeriod float64) float64 {
+	worst := clockPeriod
+	for _, s := range r.Slacks(clockPeriod) {
+		if s < worst {
+			worst = s
+		}
+	}
+	return worst
+}

@@ -1,0 +1,151 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/pdk"
+	"repro/internal/testlib"
+)
+
+var catalog = pdk.Catalog()
+
+func TestInverterChainDelayAccumulates(t *testing.T) {
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	delays := make([]float64, 0, 3)
+	for _, n := range []int{1, 2, 4} {
+		nl := netlist.New("chain", used)
+		nl.Inputs = []string{"a"}
+		prev := "a"
+		for i := 0; i < n; i++ {
+			out := "n" + string(rune('0'+i))
+			if err := nl.AddGate("INVx1", []string{prev}, out); err != nil {
+				t.Fatal(err)
+			}
+			prev = out
+		}
+		nl.Outputs = []string{"y"}
+		nl.Aliases["y"] = prev
+		res, err := Analyze(nl, lib, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays = append(delays, res.CriticalDelay)
+	}
+	if !(delays[0] < delays[1] && delays[1] < delays[2]) {
+		t.Errorf("chain delays not increasing: %v", delays)
+	}
+	// Roughly linear: 4-stage should be close to 4x the 1-stage.
+	if r := delays[2] / delays[0]; r < 2.5 || r > 6 {
+		t.Errorf("4-stage/1-stage delay ratio %v, want ~4", r)
+	}
+}
+
+func TestFanoutLoadIncreasesDelay(t *testing.T) {
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	build := func(fanout int) float64 {
+		nl := netlist.New("fan", used)
+		nl.Inputs = []string{"a"}
+		nl.AddGate("INVx1", []string{"a"}, "n0")
+		for i := 0; i < fanout; i++ {
+			nl.AddGate("INVx1", []string{"n0"}, "s"+string(rune('0'+i)))
+		}
+		nl.Outputs = []string{"y"}
+		nl.Aliases["y"] = "n0"
+		res, err := Analyze(nl, lib, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CriticalDelay
+	}
+	if d1, d8 := build(1), build(8); d8 <= d1 {
+		t.Errorf("fanout-8 delay %v not above fanout-1 delay %v", d8, d1)
+	}
+}
+
+func TestCriticalPathTraversal(t *testing.T) {
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	nl := netlist.New("path", used)
+	nl.Inputs = []string{"a", "b"}
+	nl.AddGate("INVx1", []string{"a"}, "n1")
+	nl.AddGate("INVx1", []string{"n1"}, "n2")
+	nl.AddGate("NAND2x1", []string{"n2", "b"}, "n3")
+	nl.Outputs = []string{"y"}
+	nl.Aliases["y"] = "n3"
+	res, err := Analyze(nl, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The critical path must run through the two-inverter branch.
+	if len(res.CriticalPath) != 4 {
+		t.Fatalf("critical path = %v", res.CriticalPath)
+	}
+	want := []string{"n3", "n2", "n1", "a"}
+	for i, net := range want {
+		if res.CriticalPath[i] != net {
+			t.Errorf("path[%d] = %s, want %s", i, res.CriticalPath[i], net)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	nl := netlist.New("bad", used)
+	nl.Inputs = []string{"a"}
+	nl.AddGate("INVx1", []string{"ghost"}, "n1")
+	nl.Outputs = []string{"y"}
+	nl.Aliases["y"] = "n1"
+	if _, err := Analyze(nl, lib, Options{}); err == nil {
+		t.Error("missing arrival not detected")
+	}
+	// Cell absent from the library.
+	nl2 := netlist.New("bad2", catalog)
+	nl2.Inputs = []string{"a"}
+	nl2.AddGate("DLY4x1", []string{"a"}, "n1")
+	nl2.Outputs = []string{"y"}
+	nl2.Aliases["y"] = "n1"
+	if _, err := Analyze(nl2, lib, Options{}); err == nil {
+		t.Error("unknown library cell not detected")
+	}
+}
+
+func TestSlacks(t *testing.T) {
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	nl := netlist.New("slack", used)
+	nl.Inputs = []string{"a", "b"}
+	nl.AddGate("INVx1", []string{"a"}, "n1")
+	nl.AddGate("INVx1", []string{"n1"}, "n2")
+	nl.AddGate("NAND2x1", []string{"n2", "b"}, "n3")
+	nl.Outputs = []string{"y"}
+	nl.Aliases["y"] = "n3"
+	res, err := Analyze(nl, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := res.CriticalDelay * 1.5
+	slacks := res.Slacks(period)
+	// The long branch ("a" through two inverters) must have less slack
+	// than the short branch ("b").
+	if slacks["a"] >= slacks["b"] {
+		t.Errorf("slack(a)=%v should be below slack(b)=%v", slacks["a"], slacks["b"])
+	}
+	// Critical output slack = period - critical delay.
+	want := period - res.CriticalDelay
+	if got := slacks["n3"]; mathAbs(got-want) > 1e-15 {
+		t.Errorf("output slack %v, want %v", got, want)
+	}
+	if ws := res.WorstSlack(period); ws < 0 {
+		t.Errorf("worst slack %v negative at a relaxed period", ws)
+	}
+	// Tight clock must create violations.
+	if ws := res.WorstSlack(res.CriticalDelay / 2); ws >= 0 {
+		t.Errorf("worst slack %v should be negative at half the critical period", ws)
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/pdk"
+	"repro/internal/sta"
+)
+
+// ResizeResult summarizes a gate-sizing pass.
+type ResizeResult struct {
+	Downsized, Upsized int
+	DelayBefore        float64
+	DelayAfter         float64
+}
+
+// ResizeForPower performs slack-guided drive-strength assignment on a
+// mapped netlist: gates with timing slack are swapped to smaller drive
+// variants of the same function (saving internal energy, input capacitance,
+// and leakage), and gates on violating paths are upsized back until the
+// delay limit holds. delayBudget is the allowed critical-path delay as a
+// multiple of the pre-sizing delay (e.g. 1.02 protects delay, 1.3 trades it
+// away). This is the gate-sizing step real power-aware flows run after
+// mapping; the baseline scenario leaves sizes as mapped.
+func ResizeForPower(nl *netlist.Netlist, lib *liberty.Library, staOpt sta.Options, delayBudget float64) (*ResizeResult, error) {
+	res0, err := sta.Analyze(nl, lib, staOpt)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResizeResult{DelayBefore: res0.CriticalDelay}
+	limit := res0.CriticalDelay * delayBudget
+
+	families := driveFamilies(nl)
+	// Downsizing sweep: a few iterations of slack-guided swaps.
+	for iter := 0; iter < 4; iter++ {
+		res, err := sta.Analyze(nl, lib, staOpt)
+		if err != nil {
+			return nil, err
+		}
+		slacks := res.Slacks(limit)
+		changed := 0
+		for gi := range nl.Gates {
+			g := &nl.Gates[gi]
+			smaller := nextDrive(families, g.Cell, -1)
+			if smaller == "" {
+				continue
+			}
+			slack := slacks[g.Output]
+			if slack <= 0 {
+				continue
+			}
+			penalty := delayAt(lib, nl, smaller, g, res) - delayAt(lib, nl, g.Cell, g, res)
+			if penalty <= 0 || slack > 3*penalty {
+				g.Cell = smaller
+				changed++
+				out.Downsized++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	// Repair: upsize along the critical path until the limit holds.
+	for iter := 0; iter < 8; iter++ {
+		res, err := sta.Analyze(nl, lib, staOpt)
+		if err != nil {
+			return nil, err
+		}
+		out.DelayAfter = res.CriticalDelay
+		if res.CriticalDelay <= limit {
+			break
+		}
+		critical := map[string]bool{}
+		for _, net := range res.CriticalPath {
+			critical[net] = true
+		}
+		changed := 0
+		for gi := range nl.Gates {
+			g := &nl.Gates[gi]
+			if !critical[g.Output] {
+				continue
+			}
+			bigger := nextDrive(families, g.Cell, +1)
+			if bigger == "" {
+				continue
+			}
+			g.Cell = bigger
+			changed++
+			out.Upsized++
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	if out.DelayAfter == 0 {
+		res, err := sta.Analyze(nl, lib, staOpt)
+		if err != nil {
+			return nil, err
+		}
+		out.DelayAfter = res.CriticalDelay
+	}
+	return out, nil
+}
+
+// driveFamilies groups the netlist's available cell variants by base
+// function, sorted by drive strength.
+func driveFamilies(nl *netlist.Netlist) map[string][]*pdk.Cell {
+	fams := map[string][]*pdk.Cell{}
+	seen := map[string]bool{}
+	for _, g := range nl.Gates {
+		def := nl.Cell(g.Cell)
+		if def == nil || seen[def.Base] {
+			continue
+		}
+		seen[def.Base] = true
+		// Probe all drives of this base via the name convention BASExD.
+		for _, d := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+			name := def.Base + "x" + itoa(d)
+			if c := nl.Cell(name); c != nil {
+				fams[def.Base] = append(fams[def.Base], c)
+			}
+		}
+		sort.Slice(fams[def.Base], func(i, j int) bool {
+			return fams[def.Base][i].Drive < fams[def.Base][j].Drive
+		})
+	}
+	return fams
+}
+
+// nextDrive returns the name of the adjacent drive variant (dir = -1
+// smaller, +1 larger), or "" when none exists.
+func nextDrive(fams map[string][]*pdk.Cell, cellName string, dir int) string {
+	base := cellName
+	if i := strings.LastIndex(cellName, "x"); i > 0 {
+		base = cellName[:i]
+	}
+	fam := fams[base]
+	for i, c := range fam {
+		if c.Name == cellName {
+			j := i + dir
+			if j < 0 || j >= len(fam) {
+				return ""
+			}
+			return fam[j].Name
+		}
+	}
+	return ""
+}
+
+// delayAt estimates a gate's worst arc delay if it were implemented with
+// the given cell, at the operating point from the last STA.
+func delayAt(lib *liberty.Library, nl *netlist.Netlist, cellName string, g *netlist.Gate, res *sta.Result) float64 {
+	lc := lib.FindCell(cellName)
+	def := nl.Cell(cellName)
+	if lc == nil || def == nil {
+		return 0
+	}
+	load := res.Load[g.Output]
+	var worst float64
+	outPin := def.Outputs[0]
+	for i, net := range g.Inputs {
+		if i >= len(def.Inputs) {
+			break
+		}
+		tm := lc.Timing(outPin, def.Inputs[i])
+		if tm == nil {
+			continue
+		}
+		slew := res.Slew[net]
+		d := tm.CellRise.Lookup(slew, load)
+		if f := tm.CellFall.Lookup(slew, load); f > d {
+			d = f
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

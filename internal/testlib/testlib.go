@@ -1,0 +1,99 @@
+// Package testlib fabricates small synthetic liberty libraries from PDK
+// cell definitions with closed-form (rather than SPICE-characterized)
+// timing and power models. Tests of the mapper, STA, power, and synthesis
+// layers use it to stay fast and deterministic; the real flow uses
+// internal/charlib instead.
+package testlib
+
+import (
+	"repro/internal/liberty"
+	"repro/internal/pdk"
+)
+
+// Names returns the default cell subset used by fast tests.
+func Names() []string {
+	return []string{
+		"INVx1", "INVx2", "INVx4",
+		"BUFx1",
+		"NAND2x1", "NAND2x2", "NOR2x1", "AND2x1", "OR2x1",
+		"NAND2Bx1", "NOR2Bx1", "AND2Bx1", "OR2Bx1",
+		"NAND3x1", "NOR3x1", "AND3x1", "OR3x1",
+		"NAND4x1", "NOR4x1",
+		"XOR2x1", "XNOR2x1",
+		"AOI21x1", "OAI21x1", "AOI22x1", "OAI22x1",
+		"MUX2x1", "MUXI2x1", "MAJ3x1", "MAJI3x1",
+	}
+}
+
+// Build fabricates a liberty library over the named PDK cells. tempK only
+// scales the leakage (mimicking the cryogenic collapse): leakage at 10 K is
+// 1e-4 of the 300 K value.
+func Build(catalog []*pdk.Cell, names []string, tempK float64) (*liberty.Library, []*pdk.Cell) {
+	lib := &liberty.Library{Name: "testlib", TempK: tempK, Vdd: 0.7}
+	var used []*pdk.Cell
+	leakScale := 1.0
+	if tempK < 100 {
+		leakScale = 1e-4
+	}
+	slews := []float64{5e-12, 20e-12, 80e-12}
+	loads := []float64{0.4e-15, 1.6e-15, 6.4e-15}
+	for _, name := range names {
+		cell := pdk.FindCell(catalog, name)
+		if cell == nil || cell.Seq {
+			continue
+		}
+		used = append(used, cell)
+		area := cell.Area()
+		lc := &liberty.Cell{
+			Name:         name,
+			Area:         area,
+			LeakagePower: 0.4e-12 * area * leakScale,
+		}
+		for _, in := range cell.Inputs {
+			lc.Pins = append(lc.Pins, &liberty.Pin{
+				Name:      in,
+				Direction: "input",
+				Cap:       cell.InputCap(in, tempK),
+			})
+		}
+		for _, out := range cell.Outputs {
+			pin := &liberty.Pin{Name: out, Direction: "output"}
+			for _, in := range cell.Inputs {
+				mk := func(base float64) *liberty.Table {
+					t := liberty.NewTable(slews, loads)
+					for i, s := range slews {
+						for j, l := range loads {
+							t.Values[i][j] = base + 0.3*s + l*2e3*float64(cell.TransistorCount())/float64(4*cell.Drive)
+						}
+					}
+					return t
+				}
+				mkE := func(base float64) *liberty.Table {
+					t := liberty.NewTable(slews, loads)
+					for i, s := range slews {
+						for j, l := range loads {
+							t.Values[i][j] = base + 1e-17*area + 0.01e-15*s/1e-12 + 0.2*l*0.49
+						}
+					}
+					return t
+				}
+				pin.Timings = append(pin.Timings, &liberty.Timing{
+					RelatedPin: in,
+					Sense:      liberty.SenseNonUnate,
+					CellRise:   mk(2e-12),
+					CellFall:   mk(1.8e-12),
+					RiseTrans:  mk(1.5e-12),
+					FallTrans:  mk(1.4e-12),
+				})
+				pin.Powers = append(pin.Powers, &liberty.InternalPower{
+					RelatedPin: in,
+					RisePower:  mkE(0.05e-15),
+					FallPower:  mkE(0.04e-15),
+				})
+			}
+			lc.Pins = append(lc.Pins, pin)
+		}
+		lib.Cells = append(lib.Cells, lc)
+	}
+	return lib, used
+}
