@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the packages with concurrency (obs registry, charlib
+# worker pool) plus the rest of the tree.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/charlib/... ./internal/synth/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The CI gate: everything that must be green before merging.
+check: build vet fmt test race
+	@echo "check: OK"
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+clean:
+	rm -rf build

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -198,11 +199,11 @@ func BenchmarkFig2c_PowerBreakdown(b *testing.B) {
 				lib  *liberty.Library
 				into *float64
 			}{{ml300, lib300, &share300}, {ml10, lib10, &share10}} {
-				res, err := synth.Synthesize(g, corner.ml, synth.Options{Scenario: synth.BaselinePowerAware, Seed: 1})
+				res, err := synth.Synthesize(context.Background(), g, corner.ml, synth.Options{Scenario: synth.BaselinePowerAware, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := power.Analyze(res.Netlist, corner.lib, power.Options{ClockPeriod: 1e-9, Seed: 1})
+				rep, err := power.Analyze(context.Background(), res.Netlist, corner.lib, power.Options{ClockPeriod: 1e-9, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -249,7 +250,7 @@ func benchFig3(b *testing.B, reportPower bool) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cmp, err := synth.Compare(g, ml, lib10, synth.FlowOptions{Seed: 1})
+			cmp, err := synth.Compare(context.Background(), g, ml, lib10, synth.FlowOptions{Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -297,7 +298,7 @@ func BenchmarkTable_AverageSavings(b *testing.B) {
 		var p1, p2, d1, d2 float64
 		for _, name := range names {
 			g, _ := epfl.Build(name)
-			cmp, err := synth.Compare(g, ml, lib10, synth.FlowOptions{Seed: 1})
+			cmp, err := synth.Compare(context.Background(), g, ml, lib10, synth.FlowOptions{Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -328,11 +329,11 @@ func BenchmarkAblationCostOrder(b *testing.B) {
 	g, _ := epfl.Build("router")
 	for i := 0; i < b.N; i++ {
 		for _, sc := range []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA} {
-			res, err := synth.Synthesize(g, ml, synth.Options{Scenario: sc, Seed: 1})
+			res, err := synth.Synthesize(context.Background(), g, ml, synth.Options{Scenario: sc, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
-			tr, err := sta.Analyze(res.Netlist, lib10, sta.Options{})
+			tr, err := sta.Analyze(context.Background(), res.Netlist, lib10, sta.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -352,11 +353,11 @@ func BenchmarkAblationMfs(b *testing.B) {
 	}
 	g, _ := epfl.Build("int2float")
 	for i := 0; i < b.N; i++ {
-		on, err := synth.Synthesize(g, ml, synth.Options{Scenario: synth.CryoPAD, Seed: 1})
+		on, err := synth.Synthesize(context.Background(), g, ml, synth.Options{Scenario: synth.CryoPAD, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		off, err := synth.Synthesize(g, ml, synth.Options{Scenario: synth.CryoPAD, Seed: 1, SkipMfs: true})
+		off, err := synth.Synthesize(context.Background(), g, ml, synth.Options{Scenario: synth.CryoPAD, Seed: 1, SkipMfs: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -376,11 +377,11 @@ func BenchmarkAblationChoices(b *testing.B) {
 	}
 	g, _ := epfl.Build("cavlc")
 	for i := 0; i < b.N; i++ {
-		on, err := synth.Synthesize(g, ml, synth.Options{Scenario: synth.CryoPDA, Seed: 1})
+		on, err := synth.Synthesize(context.Background(), g, ml, synth.Options{Scenario: synth.CryoPDA, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		off, err := synth.Synthesize(g, ml, synth.Options{Scenario: synth.CryoPDA, Seed: 1, SkipChoices: true})
+		off, err := synth.Synthesize(context.Background(), g, ml, synth.Options{Scenario: synth.CryoPDA, Seed: 1, SkipChoices: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -423,7 +424,7 @@ func BenchmarkAblationCutSize(b *testing.B) {
 	g, _ := epfl.Build("i2c")
 	for i := 0; i < b.N; i++ {
 		for _, k := range []int{3, 4, 5, 6} {
-			nl, err := mapper.Map(g, ml, mapper.Options{Mode: mapper.PowerAreaDelay, K: k})
+			nl, err := mapper.Map(context.Background(), g, ml, mapper.Options{Mode: mapper.PowerAreaDelay, K: k})
 			if err != nil {
 				b.Fatal(err)
 			}

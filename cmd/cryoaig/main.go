@@ -17,7 +17,10 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/epfl"
+	"repro/internal/obs"
 )
+
+var flushObs = func() {}
 
 func main() {
 	in := flag.String("in", "", "input AIGER file (.aag ASCII or .aig binary)")
@@ -27,7 +30,15 @@ func main() {
 	stats := flag.Bool("stats", true, "print size/depth statistics")
 	verify := flag.Bool("verify", false, "SAT-verify equivalence of the optimized AIG")
 	exportAll := flag.String("export-all", "", "write every EPFL benchmark as AIGER into this directory and exit")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
+
+	flush, err := obsFlags.Activate()
+	if err != nil {
+		fatal(err)
+	}
+	flushObs = flush
+	defer flush()
 
 	if *exportAll != "" {
 		if err := exportSuite(*exportAll); err != nil {
@@ -170,5 +181,6 @@ func exportSuite(dir string) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cryoaig:", err)
+	flushObs()
 	os.Exit(1)
 }

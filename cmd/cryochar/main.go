@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -12,10 +13,13 @@ import (
 
 	"repro/internal/charlib"
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/pdk"
 )
 
 const lineBreak = "\n"
+
+var flushObs = func() {}
 
 func main() {
 	temp := flag.Float64("temp", 10, "characterization temperature (K)")
@@ -24,7 +28,18 @@ func main() {
 	limit := flag.Int("limit", 0, "characterize only the first N cells (0 = all)")
 	compare := flag.Bool("compare", false, "characterize 300K and 10K and print Fig 2(a,b) distributions")
 	constraints := flag.Bool("constraints", false, "also measure setup/hold for edge-triggered flops (bisection; slower)")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
+
+	flush, err := obsFlags.Activate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cryochar:", err)
+		os.Exit(1)
+	}
+	flushObs = flush
+	defer flush()
+	ctx, root := obs.Start(context.Background(), "cryochar")
+	defer root.End()
 
 	cells := pdk.Catalog()
 	if *limit > 0 && *limit < len(cells) {
@@ -33,12 +48,12 @@ func main() {
 	fmt.Printf("library: %d cells\n", len(cells))
 
 	if *compare {
-		lib300 := characterize(cells, 300, *cacheDir, "")
-		lib10 := characterize(cells, 10, *cacheDir, "")
+		lib300 := characterize(ctx, cells, 300, *cacheDir, "")
+		lib10 := characterize(ctx, cells, 10, *cacheDir, "")
 		printDistributions(lib300, lib10)
 		return
 	}
-	lib := characterize(cells, *temp, *cacheDir, *out)
+	lib := characterize(ctx, cells, *temp, *cacheDir, *out)
 	if *constraints {
 		measureConstraints(lib, cells, *temp)
 	}
@@ -69,14 +84,14 @@ func measureConstraints(lib *liberty.Library, cells []*pdk.Cell, temp float64) {
 	}
 }
 
-func characterize(cells []*pdk.Cell, temp float64, cacheDir, out string) *liberty.Library {
+func characterize(ctx context.Context, cells []*pdk.Cell, temp float64, cacheDir, out string) *liberty.Library {
 	cfg := charlib.DefaultConfig(temp)
 	path := out
 	if path == "" {
 		path = charlib.DefaultCachePath(cacheDir, temp, len(cells))
 	}
 	fmt.Printf("characterizing %d cells at %g K (7x7 grid) -> %s\n", len(cells), temp, path)
-	lib, err := charlib.CharacterizeLibraryCached(path, fmt.Sprintf("cryo%gk", temp), cells, cfg,
+	lib, err := charlib.CharacterizeLibraryCached(ctx, path, fmt.Sprintf("cryo%gk", temp), cells, cfg,
 		func(done, total int) {
 			if done%20 == 0 || done == total {
 				fmt.Printf("  %d/%d cells\n", done, total)
@@ -84,10 +99,12 @@ func characterize(cells []*pdk.Cell, temp float64, cacheDir, out string) *libert
 		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cryochar:", err)
+		flushObs()
 		os.Exit(1)
 	}
 	if err := lib.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "cryochar: validation:", err)
+		flushObs()
 		os.Exit(1)
 	}
 	fmt.Printf("done: %d cells at %g K\n", len(lib.Cells), temp)

@@ -15,13 +15,22 @@ import (
 	"repro/internal/device"
 	"repro/internal/fit"
 	"repro/internal/measure"
+	"repro/internal/obs"
 )
 
 func main() {
 	seed := flag.Int64("seed", 7, "virtual-wafer seed")
 	calibrate := flag.Bool("calibrate", true, "run parameter extraction before plotting")
 	sweep := flag.Bool("sweep", true, "print the I-V sweeps (Fig 1b/1c data)")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
+
+	flush, err := obsFlags.Activate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cryomodel:", err)
+		os.Exit(1)
+	}
+	defer flush()
 
 	for _, typ := range []device.Type{device.NFET, device.PFET} {
 		fmt.Printf("==== %s ====\n", typ)

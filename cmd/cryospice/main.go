@@ -11,18 +11,28 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/spice"
 )
+
+var flushObs = func() {}
 
 func main() {
 	temp := flag.Float64("temp", 300, "simulation temperature in kelvin (.temp overrides)")
 	nodes := flag.String("nodes", "", "comma-separated node names to print (default: all)")
 	points := flag.Int("points", 20, "transient waveform rows to print")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cryospice [-temp K] [-nodes a,b] <deck.sp>")
 		os.Exit(2)
 	}
+	flush, err := obsFlags.Activate()
+	if err != nil {
+		fatal(err)
+	}
+	flushObs = flush
+	defer flush()
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -89,5 +99,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cryospice:", err)
+	flushObs()
 	os.Exit(1)
 }

@@ -8,27 +8,38 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pdk"
 	"repro/internal/power"
 	"repro/internal/spice"
 	"repro/internal/sta"
 )
 
+var flushObs = func() {}
+
 func main() {
 	libPath := flag.String("lib", "", "liberty library (.lib)")
 	clock := flag.String("clock", "", "target clock period (e.g. 500ps, 1n); default 1.2x critical delay")
 	topN := flag.Int("top", 5, "power consumers to list")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
 	if *libPath == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cryosta -lib <lib.lib> [-clock 1n] [-top N] <netlist.v>")
 		os.Exit(2)
 	}
+	flush, err := obsFlags.Activate()
+	exitOn(err)
+	flushObs = flush
+	defer flush()
+	ctx, root := obs.Start(context.Background(), "cryosta")
+	defer root.End()
 	lf, err := os.Open(*libPath)
 	exitOn(err)
 	lib, err := liberty.Parse(lf)
@@ -44,7 +55,7 @@ func main() {
 	fmt.Printf("netlist %s: %d gates, %d inputs, %d outputs, area %.0f\n",
 		nl.Name, nl.NumGates(), len(nl.Inputs), len(nl.Outputs), nl.Area())
 
-	timing, err := sta.Analyze(nl, lib, sta.Options{})
+	timing, err := sta.Analyze(ctx, nl, lib, sta.Options{})
 	exitOn(err)
 	fmt.Printf("\ncritical delay: %.2f ps\n", timing.CriticalDelay*1e12)
 	fmt.Println("critical path (output-first):")
@@ -71,7 +82,7 @@ func main() {
 	}
 	fmt.Println()
 
-	rep, err := power.Analyze(nl, lib, power.Options{ClockPeriod: period})
+	rep, err := power.Analyze(ctx, nl, lib, power.Options{ClockPeriod: period})
 	exitOn(err)
 	fmt.Printf("\npower @ %.3f GHz:\n", 1e-9/period)
 	fmt.Printf("  leakage   %12.4g W  (%7.4f%%)\n", rep.Leakage, rep.LeakageShare()*100)
@@ -80,7 +91,7 @@ func main() {
 	fmt.Printf("  total     %12.4g W\n", rep.Total())
 
 	if *topN > 0 {
-		cells, err := power.Attribute(nl, lib, power.Options{ClockPeriod: period})
+		cells, err := power.Attribute(ctx, nl, lib, power.Options{ClockPeriod: period})
 		exitOn(err)
 		fmt.Println("\ntop consumers:")
 		exitOn(power.WriteTopConsumers(os.Stdout, cells, *topN))
@@ -90,6 +101,7 @@ func main() {
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cryosta:", err)
+		flushObs()
 		os.Exit(1)
 	}
 }

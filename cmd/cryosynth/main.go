@@ -6,29 +6,45 @@
 //
 //	-fig3       per-circuit power savings and delay overheads (Fig 3a/3b)
 //	-breakdown  the leakage/internal/switching split at 300 K vs 10 K (Fig 2c)
+//	-report     machine-readable JSON run report (per-stage wall time, peak
+//	            AIG size, mapper cost, WNS at both temperature corners)
 //
 // With -testlib a fast synthetic library replaces the SPICE-characterized
 // one (useful for smoke runs); by default the SPICE-characterized 200-cell
 // libraries are built (and cached) first.
+//
+// Observability: -metrics, -trace, -pprof, and -loglevel are shared by all
+// flow binaries; see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/charlib"
 	"repro/internal/epfl"
 	"repro/internal/liberty"
 	"repro/internal/mapper"
+	"repro/internal/obs"
 	"repro/internal/pdk"
 	"repro/internal/power"
+	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/testlib"
 )
 
+// flushObs is set once the obs flags are activated so that check() can dump
+// partial telemetry even when the run dies halfway.
+var flushObs = func() {}
+
 func main() {
+	start := time.Now()
 	circuits := flag.String("circuits", "", "comma-separated benchmark names (default: whole suite)")
 	useTest := flag.Bool("testlib", false, "use the fast synthetic library instead of SPICE characterization")
 	cacheDir := flag.String("cache", "build", "liberty cache directory")
@@ -36,47 +52,69 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "run the Fig 2(c) power-breakdown comparison")
 	top := flag.Int("top", 0, "also print the N highest-power instances per circuit (baseline scenario)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	report := flag.String("report", "", "write a JSON run report to this file")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *report != "" {
+		// The run report needs per-stage wall times, which come from spans.
+		obs.EnableTracing()
+	}
+	flush, err := obsFlags.Activate()
+	check(err)
+	flushObs = flush
+	defer flush()
 
 	names := epfl.Names()
 	if *circuits != "" {
 		names = strings.Split(*circuits, ",")
 	}
 
+	ctx, root := obs.Start(context.Background(), "cryosynth")
+	defer root.End()
+
 	catalog := pdk.Catalog()
-	lib10, lib300, cells := loadLibraries(*useTest, *cacheDir, catalog)
+	lib10, lib300, cells := loadLibraries(ctx, *useTest, *cacheDir, catalog)
 	ml10, err := mapper.BuildMatchLibrary(lib10, cells, 6)
 	check(err)
+	var ml300 *mapper.MatchLibrary
+	if *breakdown || *report != "" {
+		ml300, err = mapper.BuildMatchLibrary(lib300, cells, 6)
+		check(err)
+	}
 
 	if *breakdown {
-		ml300, err := mapper.BuildMatchLibrary(lib300, cells, 6)
-		check(err)
-		runBreakdown(names, ml300, ml10, lib300, lib10, *seed)
+		runBreakdown(ctx, names, ml300, ml10, lib300, lib10, *seed)
 	}
 	if *fig3 {
-		runFig3(names, ml10, lib10, *seed)
+		runFig3(ctx, names, ml10, lib10, *seed)
 	}
 	if *top > 0 {
-		runTopConsumers(names, ml10, lib10, *seed, *top)
+		runTopConsumers(ctx, names, ml10, lib10, *seed, *top)
 	}
+	if *report != "" {
+		check(writeRunReport(ctx, *report, names, ml300, ml10, lib300, lib10, *seed, start))
+		fmt.Printf("run report written to %s\n", *report)
+	}
+	root.End()
 }
 
 // runTopConsumers prints the signoff-style per-instance power table for the
 // baseline synthesis of each circuit.
-func runTopConsumers(names []string, ml *mapper.MatchLibrary, lib *liberty.Library, seed int64, n int) {
+func runTopConsumers(ctx context.Context, names []string, ml *mapper.MatchLibrary, lib *liberty.Library, seed int64, n int) {
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		check(err)
-		res, err := synth.Synthesize(g, ml, synth.Options{Scenario: synth.BaselinePowerAware, Seed: seed})
+		res, err := synth.Synthesize(ctx, g, ml, synth.Options{Scenario: synth.BaselinePowerAware, Seed: seed})
 		check(err)
-		cells, err := power.Attribute(res.Netlist, lib, power.Options{ClockPeriod: 1e-9, Seed: seed})
+		cells, err := power.Attribute(ctx, res.Netlist, lib, power.Options{ClockPeriod: 1e-9, Seed: seed})
 		check(err)
 		fmt.Printf("\n--- %s: top %d power consumers (1 GHz) ---\n", name, n)
 		check(power.WriteTopConsumers(os.Stdout, cells, n))
 	}
 }
 
-func loadLibraries(useTest bool, cacheDir string, catalog []*pdk.Cell) (lib10, lib300 *liberty.Library, cells []*pdk.Cell) {
+func loadLibraries(ctx context.Context, useTest bool, cacheDir string, catalog []*pdk.Cell) (lib10, lib300 *liberty.Library, cells []*pdk.Cell) {
 	if useTest {
 		lib300, cells = testlib.Build(catalog, testlib.Names(), 300)
 		lib10, _ = testlib.Build(catalog, testlib.Names(), 10)
@@ -90,12 +128,12 @@ func loadLibraries(useTest bool, cacheDir string, catalog []*pdk.Cell) (lib10, l
 	}
 	var err error
 	fmt.Println("characterizing / loading 300 K library...")
-	lib300, err = charlib.CharacterizeLibraryCached(
+	lib300, err = charlib.CharacterizeLibraryCached(ctx,
 		charlib.DefaultCachePath(cacheDir, 300, len(catalog)), "cryo300k", catalog,
 		charlib.DefaultConfig(300), progress)
 	check(err)
 	fmt.Println("characterizing / loading 10 K library...")
-	lib10, err = charlib.CharacterizeLibraryCached(
+	lib10, err = charlib.CharacterizeLibraryCached(ctx,
 		charlib.DefaultCachePath(cacheDir, 10, len(catalog)), "cryo10k", catalog,
 		charlib.DefaultConfig(10), progress)
 	check(err)
@@ -104,7 +142,7 @@ func loadLibraries(useTest bool, cacheDir string, catalog []*pdk.Cell) (lib10, l
 
 // runFig3 reproduces Fig 3(a,b): per-circuit power savings and delay
 // overheads of the cryogenic-aware cost hierarchies vs the baseline.
-func runFig3(names []string, ml *mapper.MatchLibrary, lib *liberty.Library, seed int64) {
+func runFig3(ctx context.Context, names []string, ml *mapper.MatchLibrary, lib *liberty.Library, seed int64) {
 	fmt.Println("\n=== Fig 3 — cryogenic-aware synthesis vs state-of-the-art power-aware baseline (10 K library) ===")
 	fmt.Printf("%-12s %10s | %9s %9s | %9s %9s\n",
 		"circuit", "base(uW)", "pad dP%", "pda dP%", "pad dD%", "pda dD%")
@@ -113,7 +151,7 @@ func runFig3(names []string, ml *mapper.MatchLibrary, lib *liberty.Library, seed
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		check(err)
-		cmp, err := synth.Compare(g, ml, lib, synth.FlowOptions{Seed: seed})
+		cmp, err := synth.Compare(ctx, g, ml, lib, synth.FlowOptions{Seed: seed})
 		if err != nil {
 			fmt.Printf("%-12s FAILED: %v\n", name, err)
 			continue
@@ -142,7 +180,7 @@ func runFig3(names []string, ml *mapper.MatchLibrary, lib *liberty.Library, seed
 
 // runBreakdown reproduces Fig 2(c): the average leakage/internal/switching
 // contribution at 300 K vs 10 K across the suite.
-func runBreakdown(names []string, ml300, ml10 *mapper.MatchLibrary, lib300, lib10 *liberty.Library, seed int64) {
+func runBreakdown(ctx context.Context, names []string, ml300, ml10 *mapper.MatchLibrary, lib300, lib10 *liberty.Library, seed int64) {
 	fmt.Println("\n=== Fig 2(c) — power breakdown: 300 K vs 10 K ===")
 	type acc struct{ leak, internal, sw float64 }
 	var a300, a10 acc
@@ -155,11 +193,11 @@ func runBreakdown(names []string, ml300, ml10 *mapper.MatchLibrary, lib300, lib1
 			lib *liberty.Library
 			acc *acc
 		}{{ml300, lib300, &a300}, {ml10, lib10, &a10}} {
-			res, err := synth.Synthesize(g, corner.ml, synth.Options{
+			res, err := synth.Synthesize(ctx, g, corner.ml, synth.Options{
 				Scenario: synth.BaselinePowerAware, Seed: seed,
 			})
 			check(err)
-			rep, err := power.Analyze(res.Netlist, corner.lib, power.Options{
+			rep, err := power.Analyze(ctx, res.Netlist, corner.lib, power.Options{
 				ClockPeriod: 1e-9, Seed: seed,
 			})
 			check(err)
@@ -178,9 +216,111 @@ func runBreakdown(names []string, ml300, ml10 *mapper.MatchLibrary, lib300, lib1
 	fmt.Println("\npaper reference: leakage ~15% at 300 K collapsing to ~0.003% at 10 K.")
 }
 
+// Run-report JSON shapes. Durations are seconds; WNS is reported against
+// the shared 1 ns reference clock the CLI tables use.
+type stageReport struct {
+	Span    string  `json:"span"`
+	Count   int     `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+type cornerReport struct {
+	TempK       float64 `json:"temp_k"`
+	Gates       int     `json:"gates"`
+	Area        float64 `json:"area"`
+	MapperCost  float64 `json:"mapper_cost"`
+	CriticalSec float64 `json:"critical_delay_seconds"`
+	WNSSec      float64 `json:"wns_seconds"`
+}
+
+type circuitReport struct {
+	Circuit      string         `json:"circuit"`
+	NodesIn      int            `json:"nodes_in"`
+	NodesC2RS    int            `json:"nodes_c2rs"`
+	NodesPower   int            `json:"nodes_power"`
+	PeakAIGNodes int            `json:"peak_aig_nodes"`
+	Corners      []cornerReport `json:"corners"`
+}
+
+type runReport struct {
+	Tool        string          `json:"tool"`
+	ClockSec    float64         `json:"reference_clock_seconds"`
+	Seed        int64           `json:"seed"`
+	WallSeconds float64         `json:"wall_seconds"`
+	Circuits    []circuitReport `json:"circuits"`
+	Stages      []stageReport   `json:"stages"`
+}
+
+// writeRunReport synthesizes each circuit under the baseline scenario at
+// both temperature corners and emits the flow-level JSON report: per-stage
+// wall time (from the span tracer), peak AIG size, mapper cost, and worst
+// negative slack at 300 K and 10 K.
+func writeRunReport(ctx context.Context, path string, names []string,
+	ml300, ml10 *mapper.MatchLibrary, lib300, lib10 *liberty.Library, seed int64, start time.Time) error {
+	const clock = 1e-9
+	rep := runReport{Tool: "cryosynth", ClockSec: clock, Seed: seed}
+	for _, name := range names {
+		g, err := epfl.Build(name)
+		if err != nil {
+			return err
+		}
+		cr := circuitReport{Circuit: name}
+		for _, corner := range []struct {
+			temp float64
+			ml   *mapper.MatchLibrary
+			lib  *liberty.Library
+		}{{300, ml300, lib300}, {10, ml10, lib10}} {
+			res, err := synth.Synthesize(ctx, g, corner.ml, synth.Options{
+				Scenario: synth.BaselinePowerAware, Seed: seed,
+			})
+			if err != nil {
+				return fmt.Errorf("report: %s at %gK: %w", name, corner.temp, err)
+			}
+			cr.NodesIn, cr.NodesC2RS, cr.NodesPower = res.NodesIn, res.NodesC2RS, res.NodesPower
+			cr.PeakAIGNodes = max3(res.NodesIn, res.NodesC2RS, res.NodesPower)
+			tr, err := sta.Analyze(ctx, res.Netlist, corner.lib, sta.Options{})
+			if err != nil {
+				return fmt.Errorf("report: %s STA at %gK: %w", name, corner.temp, err)
+			}
+			cr.Corners = append(cr.Corners, cornerReport{
+				TempK:       corner.temp,
+				Gates:       res.Netlist.NumGates(),
+				Area:        res.Netlist.Area(),
+				MapperCost:  res.Netlist.Area(),
+				CriticalSec: tr.CriticalDelay,
+				WNSSec:      tr.WorstSlack(clock),
+			})
+		}
+		rep.Circuits = append(rep.Circuits, cr)
+	}
+	for name, tot := range obs.Tracing().Totals() {
+		rep.Stages = append(rep.Stages, stageReport{
+			Span: name, Count: tot.Count, Seconds: tot.Total.Seconds(),
+		})
+	}
+	sort.Slice(rep.Stages, func(i, j int) bool { return rep.Stages[i].Span < rep.Stages[j].Span })
+	rep.WallSeconds = time.Since(start).Seconds()
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cryosynth:", err)
+		flushObs()
 		os.Exit(1)
 	}
 }

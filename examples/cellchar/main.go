@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	catalog := pdk.Catalog()
 	names := []string{"INVx1", "NAND2x1", "XOR2x1", "AOI21x1", "DFFx1"}
 
@@ -28,9 +30,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "unknown cell", name)
 			os.Exit(1)
 		}
-		room, err := charlib.CharacterizeCell(cell, charlib.QuickConfig(300))
+		room, err := charlib.CharacterizeCell(ctx, cell, charlib.QuickConfig(300))
 		exitOn(err)
-		cryo, err := charlib.CharacterizeCell(cell, charlib.QuickConfig(10))
+		cryo, err := charlib.CharacterizeCell(ctx, cell, charlib.QuickConfig(10))
 		exitOn(err)
 
 		dR, eR := midMetrics(room)
@@ -41,7 +43,7 @@ func main() {
 
 	// Emit one cell as a liberty snippet.
 	inv := pdk.FindCell(catalog, "INVx1")
-	lc, err := charlib.CharacterizeCell(inv, charlib.QuickConfig(10))
+	lc, err := charlib.CharacterizeCell(ctx, inv, charlib.QuickConfig(10))
 	exitOn(err)
 	fmt.Println("\nLiberty view of INVx1 at 10 K (industry-standard format):")
 	lib := &liberty.Library{Name: "cryo10k_demo", TempK: 10, Vdd: 0.7, Cells: []*liberty.Cell{lc}}

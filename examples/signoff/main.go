@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ func main() {
 	name := flag.String("circuit", "router", "EPFL benchmark")
 	clockPs := flag.Float64("clock", 0, "target clock period in ps (default: critical delay * 1.2)")
 	flag.Parse()
+	ctx := context.Background()
 
 	g, err := epfl.Build(*name)
 	exitOn(err)
@@ -30,12 +32,12 @@ func main() {
 	lib, used := testlib.Build(catalog, testlib.Names(), 10)
 	ml, err := mapper.BuildMatchLibrary(lib, used, 6)
 	exitOn(err)
-	res, err := synth.Synthesize(g, ml, synth.Options{Scenario: synth.CryoPDA, Seed: 11})
+	res, err := synth.Synthesize(ctx, g, ml, synth.Options{Scenario: synth.CryoPDA, Seed: 11})
 	exitOn(err)
 	nl := res.Netlist
 	fmt.Printf("%s mapped: %d gates, area %.0f\n", g.Name, nl.NumGates(), nl.Area())
 
-	timing, err := sta.Analyze(nl, lib, sta.Options{})
+	timing, err := sta.Analyze(ctx, nl, lib, sta.Options{})
 	exitOn(err)
 	fmt.Printf("\ncritical path (%.2f ps), output-first:\n", timing.CriticalDelay*1e12)
 	for _, net := range timing.CriticalPath {
@@ -52,14 +54,14 @@ func main() {
 		period*1e12, timing.WorstSlack(period)*1e12)
 	printSlackHistogram(slacks, period)
 
-	rep, err := power.Analyze(nl, lib, power.Options{ClockPeriod: period, Seed: 11})
+	rep, err := power.Analyze(ctx, nl, lib, power.Options{ClockPeriod: period, Seed: 11})
 	exitOn(err)
 	fmt.Printf("\npower at %.2f ps clock: total %.3f uW\n", period*1e12, rep.Total()*1e6)
 	fmt.Printf("  leakage   %10.4g W (%6.3f%%)\n", rep.Leakage, rep.LeakageShare()*100)
 	fmt.Printf("  internal  %10.4g W (%6.3f%%)\n", rep.Internal, rep.Internal/rep.Total()*100)
 	fmt.Printf("  switching %10.4g W (%6.3f%%)\n", rep.Switching, rep.Switching/rep.Total()*100)
 
-	cells, err := power.Attribute(nl, lib, power.Options{ClockPeriod: period, Seed: 11})
+	cells, err := power.Attribute(ctx, nl, lib, power.Options{ClockPeriod: period, Seed: 11})
 	exitOn(err)
 	fmt.Println("\ntop power consumers:")
 	exitOn(power.WriteTopConsumers(os.Stdout, cells, 5))

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ func main() {
 	name := flag.String("circuit", "int2float", "EPFL benchmark to synthesize")
 	verilog := flag.Bool("verilog", false, "print the mapped Verilog of the p->a->d variant")
 	flag.Parse()
+	ctx := context.Background()
 
 	g, err := epfl.Build(*name)
 	exitOn(err)
@@ -32,7 +34,7 @@ func main() {
 	ml, err := mapper.BuildMatchLibrary(lib, used, 6)
 	exitOn(err)
 
-	cmp, err := synth.Compare(g, ml, lib, synth.FlowOptions{Seed: 42})
+	cmp, err := synth.Compare(ctx, g, ml, lib, synth.FlowOptions{Seed: 42})
 	exitOn(err)
 
 	fmt.Printf("\nshared clock period (slowest variant + guard band): %.2f ps\n", cmp.ClockPeriod*1e12)
@@ -50,7 +52,7 @@ func main() {
 
 	// Functional safety net: every variant must still realize the circuit.
 	for _, sc := range []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA} {
-		res, err := synth.Synthesize(g, ml, synth.Options{Scenario: sc, Seed: 42})
+		res, err := synth.Synthesize(ctx, g, ml, synth.Options{Scenario: sc, Seed: 42})
 		exitOn(err)
 		if err := synth.VerifyMapped(g, res, 4, 7); err != nil {
 			fmt.Fprintf(os.Stderr, "scenario %v: VERIFICATION FAILED: %v\n", sc, err)

@@ -8,6 +8,7 @@ import "sort"
 // style). This is the classic `balance` pass that reduces depth without
 // changing size much.
 func (g *AIG) Balance() *AIG {
+	done := startPass("balance", g)
 	out := New(g.Name)
 	m := make([]Lit, g.NumVars())
 	m[0] = False
@@ -26,7 +27,9 @@ func (g *AIG) Balance() *AIG {
 	for i, po := range g.pos {
 		out.AddPO(m[po.Var()].NotIf(po.IsCompl()), g.poNames[i])
 	}
-	return out.Sweep()
+	swept := out.Sweep()
+	done(swept)
+	return swept
 }
 
 // collectSuper gathers the operand literals of the maximal AND supergate

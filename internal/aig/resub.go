@@ -88,6 +88,7 @@ func DefaultResubOptions() ResubOptions {
 // (1-resub). This is the Boolean-resubstitution stage of the paper's c2rs
 // script.
 func (g *AIG) Resub(opt ResubOptions) *AIG {
+	done := startPass("resub", g)
 	if opt.Words == 0 {
 		opt = DefaultResubOptions()
 	}
@@ -190,7 +191,9 @@ func (g *AIG) Resub(opt ResubOptions) *AIG {
 	for i, po := range g.pos {
 		out.AddPO(m[po.Var()].NotIf(po.IsCompl()), g.poNames[i])
 	}
-	return out.Sweep()
+	swept := out.Sweep()
+	done(swept)
+	return swept
 }
 
 // proveIsAnd checks with SAT that node v equals the conjunction of the two

@@ -18,13 +18,19 @@ type RewriteOptions struct {
 
 // Rewrite runs cut-based resynthesis with 4-input cuts.
 func (g *AIG) Rewrite(zeroCost bool) *AIG {
-	return g.resynthesize(RewriteOptions{CutSize: 4, MaxCuts: 6, ZeroCost: zeroCost, UseFactor: true})
+	done := startPass("rewrite", g)
+	out := g.resynthesize(RewriteOptions{CutSize: 4, MaxCuts: 6, ZeroCost: zeroCost, UseFactor: true})
+	done(out)
+	return out
 }
 
 // Refactor runs resynthesis with wide (6-input) cuts and factored-form
 // construction.
 func (g *AIG) Refactor() *AIG {
-	return g.resynthesize(RewriteOptions{CutSize: 6, MaxCuts: 4, UseFactor: true})
+	done := startPass("refactor", g)
+	out := g.resynthesize(RewriteOptions{CutSize: 6, MaxCuts: 4, UseFactor: true})
+	done(out)
+	return out
 }
 
 func (g *AIG) resynthesize(opt RewriteOptions) *AIG {

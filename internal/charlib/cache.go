@@ -1,28 +1,67 @@
 package charlib
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/pdk"
 )
 
-// CharacterizeLibraryCached characterizes the library unless a liberty file
-// at path already holds a matching corner (same temperature and cell
-// count), in which case the cached file is parsed and returned. Freshly
-// characterized results are written to path.
-func CharacterizeLibraryCached(path, name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
-	if f, err := os.Open(path); err == nil {
-		lib, perr := liberty.Parse(f)
-		f.Close()
-		if perr == nil && lib.TempK == cfg.TempK && len(lib.Cells) == len(cells) {
-			return lib, nil
+// CacheKey fingerprints one characterization request: the full Config (Vdd,
+// temperature, slew and load grids — everything except the worker count,
+// which cannot change results) plus the complete cell list (names, drives,
+// pin lists, stage networks, truth tables, areas, sequential metadata). Any
+// change to either yields a different key, so a cached liberty file can
+// never be silently reused for a different corner or library revision.
+func CacheKey(cells []*pdk.Cell, cfg Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|vdd=%.17g|temp=%.17g|slews=%v|loads=%v\n", cfg.Vdd, cfg.TempK, cfg.Slews, cfg.Loads)
+	for _, c := range cells {
+		fmt.Fprintf(h, "cell=%s|base=%s|drive=%d|in=%s|out=%s|area=%.17g|seq=%t|clock=%s|edge=%t|flop=%t\n",
+			c.Name, c.Base, c.Drive, strings.Join(c.Inputs, ","), strings.Join(c.Outputs, ","),
+			c.Area(), c.Seq, c.Clock, c.Edge, c.IsFlop)
+		for _, st := range c.Stages {
+			if st.Tri != nil {
+				fmt.Fprintf(h, "  stage=%s|tri=%s,%s,%s\n", st.Out, st.Tri.In, st.Tri.EnN, st.Tri.EnP)
+			} else if st.F != nil {
+				fmt.Fprintf(h, "  stage=%s|f=%s\n", st.Out, st.F.String())
+			}
 		}
-		// Stale or corrupt cache: fall through and regenerate.
+		for _, out := range c.Outputs {
+			if tt, ok := c.Truth(out); ok {
+				fmt.Fprintf(h, "  truth=%s|%016x\n", out, tt)
+			}
+		}
 	}
-	lib, err := CharacterizeLibrary(name, cells, cfg, progress)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// metaPath is the sidecar file that records the cache key of a
+// characterized liberty file.
+func metaPath(path string) string { return path + ".meta" }
+
+// CharacterizeLibraryCached characterizes the library unless a liberty file
+// at path already holds a matching corner — validated against the SHA-256
+// cache key of the full Config and cell list, not just temperature and cell
+// count — in which case the cached file is parsed and returned. Freshly
+// characterized results are written to path with the key in a sidecar
+// path.meta file. Cache hits and misses are recorded in the
+// charlib.cache.hits / charlib.cache.misses counters.
+func CharacterizeLibraryCached(ctx context.Context, path, name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
+	key := CacheKey(cells, cfg)
+	if lib := readCache(path, key, cfg, len(cells)); lib != nil {
+		obs.C("charlib.cache.hits").Inc()
+		return lib, nil
+	}
+	obs.C("charlib.cache.misses").Inc()
+	lib, err := CharacterizeLibrary(ctx, name, cells, cfg, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +83,40 @@ func CharacterizeLibraryCached(path, name string, cells []*pdk.Cell, cfg Config,
 	if err := os.Rename(tmp, path); err != nil {
 		return nil, err
 	}
+	if err := os.WriteFile(metaPath(path), []byte(key+"\n"), 0o644); err != nil {
+		return nil, err
+	}
 	return lib, nil
+}
+
+// readCache returns the cached library when both the sidecar key and the
+// parsed file agree with the request, nil otherwise (stale, corrupt, or
+// absent caches all fall through to regeneration).
+func readCache(path, key string, cfg Config, nCells int) *liberty.Library {
+	meta, err := os.ReadFile(metaPath(path))
+	if err != nil {
+		return nil
+	}
+	if strings.TrimSpace(string(meta)) != key {
+		obs.Log().Infof("charlib: cache %s is stale (config or cell list changed), re-characterizing", path)
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	lib, err := liberty.Parse(f)
+	if err != nil {
+		obs.Log().Warnf("charlib: cache %s is corrupt (%v), re-characterizing", path, err)
+		return nil
+	}
+	// Defense in depth: the sidecar could have survived a liberty rewrite.
+	if lib.TempK != cfg.TempK || len(lib.Cells) != nCells {
+		obs.Log().Warnf("charlib: cache %s does not match its sidecar key, re-characterizing", path)
+		return nil
+	}
+	return lib
 }
 
 // DefaultCachePath returns the canonical on-disk location for a

@@ -1,0 +1,152 @@
+package charlib
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pdk"
+)
+
+func TestCacheKeySensitivity(t *testing.T) {
+	subset := []*pdk.Cell{
+		pdk.FindCell(catalog, "INVx1"),
+		pdk.FindCell(catalog, "NAND2x1"),
+	}
+	cfg := QuickConfig(300)
+	base := CacheKey(subset, cfg)
+
+	if CacheKey(subset, cfg) != base {
+		t.Error("cache key is not deterministic")
+	}
+
+	vdd := cfg
+	vdd.Vdd *= 1.1
+	if CacheKey(subset, vdd) == base {
+		t.Error("Vdd change did not change the cache key")
+	}
+
+	temp := cfg
+	temp.TempK = 10
+	if CacheKey(subset, temp) == base {
+		t.Error("temperature change did not change the cache key")
+	}
+
+	grid := cfg
+	grid.Slews = append(append([]float64(nil), cfg.Slews...), 99e-12)
+	if CacheKey(subset, grid) == base {
+		t.Error("slew-grid change did not change the cache key")
+	}
+
+	loads := cfg
+	loads.Loads = append(append([]float64(nil), cfg.Loads...), 9e-15)
+	if CacheKey(subset, loads) == base {
+		t.Error("load-grid change did not change the cache key")
+	}
+
+	// Same length, same temperature, different cells: only the fingerprint
+	// can tell these apart (the old count+temperature check could not).
+	other := []*pdk.Cell{
+		pdk.FindCell(catalog, "INVx1"),
+		pdk.FindCell(catalog, "NOR2x1"),
+	}
+	if CacheKey(other, cfg) == base {
+		t.Error("cell-list change did not change the cache key")
+	}
+
+	// Worker count is excluded: it cannot change characterization results.
+	workers := cfg
+	workers.Workers = cfg.Workers + 3
+	if CacheKey(subset, workers) != base {
+		t.Error("worker count leaked into the cache key")
+	}
+}
+
+func TestCacheMissOnConfigChange(t *testing.T) {
+	obs.EnableMetrics()
+	hits := obs.C("charlib.cache.hits")
+	misses := obs.C("charlib.cache.misses")
+	hits0, misses0 := hits.Value(), misses.Value()
+
+	subset := []*pdk.Cell{pdk.FindCell(catalog, "INVx1")}
+	cfg := QuickConfig(300)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inv.lib")
+	ctx := context.Background()
+
+	if _, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := misses.Value() - misses0; got != 1 {
+		t.Fatalf("first characterization recorded %d misses, want 1", got)
+	}
+	if _, err := os.Stat(metaPath(path)); err != nil {
+		t.Fatalf("sidecar key file not written: %v", err)
+	}
+
+	if _, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Value() - hits0; got != 1 {
+		t.Fatalf("identical request recorded %d hits, want 1", got)
+	}
+
+	// A changed supply voltage must invalidate the cache even though the
+	// temperature and cell count still match the liberty file.
+	changed := cfg
+	changed.Vdd *= 1.05
+	lib, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, changed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := misses.Value() - misses0; got != 2 {
+		t.Fatalf("Vdd change recorded %d misses, want 2", got)
+	}
+	if lib.Vdd != changed.Vdd {
+		t.Errorf("regenerated library has Vdd %g, want %g", lib.Vdd, changed.Vdd)
+	}
+
+	// The sidecar now holds the new key, so repeating the changed request
+	// hits, and the original request misses again.
+	if _, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, changed, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Value() - hits0; got != 2 {
+		t.Fatalf("repeated changed request recorded %d hits, want 2", got)
+	}
+	if _, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := misses.Value() - misses0; got != 3 {
+		t.Fatalf("reverted request recorded %d misses, want 3", got)
+	}
+}
+
+func TestCacheMissOnMissingSidecar(t *testing.T) {
+	obs.EnableMetrics()
+	misses := obs.C("charlib.cache.misses")
+	misses0 := misses.Value()
+
+	subset := []*pdk.Cell{pdk.FindCell(catalog, "INVx1")}
+	cfg := QuickConfig(300)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inv.lib")
+	ctx := context.Background()
+
+	if _, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A liberty file without its sidecar (e.g. written by an older version
+	// with the weak count+temperature check) must not be trusted.
+	if err := os.Remove(metaPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CharacterizeLibraryCached(ctx, path, "inv300", subset, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := misses.Value() - misses0; got != 2 {
+		t.Fatalf("missing sidecar recorded %d misses, want 2", got)
+	}
+}

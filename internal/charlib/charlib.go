@@ -7,12 +7,15 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/pdk"
 	"repro/internal/spice"
 )
@@ -57,15 +60,28 @@ func geometric(start, ratio float64, n int) []float64 {
 	return out
 }
 
-// CharacterizeCell measures one cell and returns its liberty view.
-func CharacterizeCell(cell *pdk.Cell, cfg Config) (*liberty.Cell, error) {
+// CharacterizeCell measures one cell and returns its liberty view. The
+// context carries the parent observability span, if any.
+func CharacterizeCell(ctx context.Context, cell *pdk.Cell, cfg Config) (*liberty.Cell, error) {
+	_, span := obs.Start(ctx, "charlib.cell")
+	span.SetAttr("cell", cell.Name)
+	defer span.End()
+	t0 := time.Now()
 	ch := &charer{cfg: cfg}
-	return ch.cell(cell)
+	lc, err := ch.cell(cell)
+	obs.C("charlib.cells").Inc()
+	obs.H("charlib.cell.seconds").Observe(time.Since(t0).Seconds())
+	return lc, err
 }
 
 // CharacterizeLibrary measures all cells (in parallel) and assembles the
 // library. progress, when non-nil, is called after each finished cell.
-func CharacterizeLibrary(name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
+func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
+	ctx, span := obs.Start(ctx, "charlib.library")
+	span.SetAttr("library", name)
+	span.SetAttr("temp_k", cfg.TempK)
+	span.SetAttr("cells", len(cells))
+	defer span.End()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -83,7 +99,7 @@ func CharacterizeLibrary(name string, cells []*pdk.Cell, cfg Config, progress fu
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			lc, err := CharacterizeCell(c, cfg)
+			lc, err := CharacterizeCell(ctx, c, cfg)
 			results[i], errs[i] = lc, err
 			if progress != nil {
 				mu.Lock()
@@ -134,10 +150,13 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 			Function:  functionString(cell, out),
 		}
 		if cell.Seq {
+			t0 := time.Now()
 			tm, pw, err := ch.clockArc(cell, out)
 			if err != nil {
 				return nil, fmt.Errorf("clk->%s: %w", out, err)
 			}
+			obs.C("charlib.arcs").Inc()
+			obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
 			pin.Timings = append(pin.Timings, tm)
 			pin.Powers = append(pin.Powers, pw)
 		} else {
@@ -146,10 +165,13 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 				if !ok {
 					continue
 				}
+				t0 := time.Now()
 				tm, pw, err := ch.combArc(cell, in, out, vec, o0, o1)
 				if err != nil {
 					return nil, fmt.Errorf("%s->%s: %w", in, out, err)
 				}
+				obs.C("charlib.arcs").Inc()
+				obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
 				tm.Sense = senseOf(cell, in, out)
 				pin.Timings = append(pin.Timings, tm)
 				pin.Powers = append(pin.Powers, pw)

@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -192,7 +193,7 @@ func TestCharacterizeLibrarySubsetAndCache(t *testing.T) {
 	cfg := QuickConfig(300)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "subset.lib")
-	lib, err := CharacterizeLibraryCached(path, "subset300", subset, cfg, nil)
+	lib, err := CharacterizeLibraryCached(context.Background(), path, "subset300", subset, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestCharacterizeLibrarySubsetAndCache(t *testing.T) {
 		t.Fatalf("cache file not written: %v", err)
 	}
 	// Second call must hit the cache (file unchanged).
-	lib2, err := CharacterizeLibraryCached(path, "subset300", subset, cfg, nil)
+	lib2, err := CharacterizeLibraryCached(context.Background(), path, "subset300", subset, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestCharacterizeLibrarySubsetAndCache(t *testing.T) {
 func mustChar(t *testing.T, name string, temp float64) *liberty.Cell {
 	t.Helper()
 	cell := cellByName(t, name)
-	lc, err := CharacterizeCell(cell, QuickConfig(temp))
+	lc, err := CharacterizeCell(context.Background(), cell, QuickConfig(temp))
 	if err != nil {
 		t.Fatalf("characterize %s at %gK: %v", name, temp, err)
 	}

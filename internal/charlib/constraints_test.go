@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"testing"
 )
 
@@ -40,7 +41,7 @@ func TestSetupHoldRejectsCombinational(t *testing.T) {
 func TestAttachConstraints(t *testing.T) {
 	cell := cellByName(t, "DFFx1")
 	cfg := QuickConfig(300)
-	lc, err := CharacterizeCell(cell, cfg)
+	lc, err := CharacterizeCell(context.Background(), cell, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

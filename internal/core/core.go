@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/charlib"
@@ -43,7 +44,7 @@ type Config struct {
 
 // NewFlow characterizes (or loads) the standard-cell library at the given
 // corner and prepares the technology-mapping index.
-func NewFlow(cfg Config) (*Flow, error) {
+func NewFlow(ctx context.Context, cfg Config) (*Flow, error) {
 	if cfg.TempK == 0 {
 		cfg.TempK = 10
 	}
@@ -58,7 +59,7 @@ func NewFlow(cfg Config) (*Flow, error) {
 			path = charlib.DefaultCachePath("build", cfg.TempK, len(catalog))
 		}
 		var err error
-		lib, err = charlib.CharacterizeLibraryCached(path, fmt.Sprintf("cryo%gk", cfg.TempK),
+		lib, err = charlib.CharacterizeLibraryCached(ctx, path, fmt.Sprintf("cryo%gk", cfg.TempK),
 			catalog, charlib.DefaultConfig(cfg.TempK), cfg.Progress)
 		if err != nil {
 			return nil, err
@@ -74,20 +75,20 @@ func NewFlow(cfg Config) (*Flow, error) {
 
 // Synthesize runs the paper's three-stage pipeline on a circuit under one
 // scenario.
-func (f *Flow) Synthesize(circuit string, sc synth.Scenario) (*synth.Result, error) {
+func (f *Flow) Synthesize(ctx context.Context, circuit string, sc synth.Scenario) (*synth.Result, error) {
 	g, err := epfl.Build(circuit)
 	if err != nil {
 		return nil, err
 	}
-	return synth.Synthesize(g, f.Matches, synth.Options{Scenario: sc, Seed: 1})
+	return synth.Synthesize(ctx, g, f.Matches, synth.Options{Scenario: sc, Seed: 1})
 }
 
 // Compare evaluates all three scenarios on a circuit with the paper's
 // shared-clock normalization.
-func (f *Flow) Compare(circuit string) (*synth.Comparison, error) {
+func (f *Flow) Compare(ctx context.Context, circuit string) (*synth.Comparison, error) {
 	g, err := epfl.Build(circuit)
 	if err != nil {
 		return nil, err
 	}
-	return synth.Compare(g, f.Matches, f.Library, synth.FlowOptions{Seed: 1})
+	return synth.Compare(ctx, g, f.Matches, f.Library, synth.FlowOptions{Seed: 1})
 }

@@ -1,24 +1,25 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/synth"
 )
 
 func TestSyntheticFlowEndToEnd(t *testing.T) {
-	flow, err := NewFlow(Config{TempK: 10, Synthetic: true})
+	flow, err := NewFlow(context.Background(), Config{TempK: 10, Synthetic: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := flow.Synthesize("router", synth.CryoPAD)
+	res, err := flow.Synthesize(context.Background(), "router", synth.CryoPAD)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Netlist.NumGates() == 0 {
 		t.Fatal("empty netlist from the facade flow")
 	}
-	cmp, err := flow.Compare("router")
+	cmp, err := flow.Compare(context.Background(), "router")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +29,11 @@ func TestSyntheticFlowEndToEnd(t *testing.T) {
 }
 
 func TestUnknownCircuit(t *testing.T) {
-	flow, err := NewFlow(Config{TempK: 300, Synthetic: true})
+	flow, err := NewFlow(context.Background(), Config{TempK: 300, Synthetic: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := flow.Synthesize("nope", synth.BaselinePowerAware); err == nil {
+	if _, err := flow.Synthesize(context.Background(), "nope", synth.BaselinePowerAware); err == nil {
 		t.Error("unknown circuit accepted")
 	}
 }

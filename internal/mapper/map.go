@@ -1,11 +1,13 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/aig"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // CostMode selects the priority list used to rank candidate matches.
@@ -70,7 +72,12 @@ type implChoice struct {
 // mode and returns the mapped netlist. Primary outputs are aliased onto
 // their driver nets (inverters are materialized where a complemented signal
 // is required).
-func Map(g *aig.AIG, ml *MatchLibrary, opt Options) (*netlist.Netlist, error) {
+func Map(ctx context.Context, g *aig.AIG, ml *MatchLibrary, opt Options) (*netlist.Netlist, error) {
+	_, span := obs.Start(ctx, "mapper.map")
+	span.SetAttr("design", g.Name)
+	span.SetAttr("mode", opt.Mode.String())
+	defer span.End()
+	obs.C("mapper.runs").Inc()
 	if opt.K == 0 {
 		opt.K = 5
 	}
@@ -106,8 +113,15 @@ func Map(g *aig.AIG, ml *MatchLibrary, opt Options) (*netlist.Netlist, error) {
 			refs = coverRefs(g, best)
 		}
 		best = mapPass(g, ml, opt, cuts, refs, act, invEnergyAt)
+		obs.C("mapper.passes").Inc()
 	}
-	return extract(g, ml, best, opt)
+	nl, err := extract(g, ml, best, opt)
+	if err == nil {
+		obs.C("mapper.gates_emitted").Add(int64(nl.NumGates()))
+		span.SetAttr("gates", nl.NumGates())
+		span.SetAttr("area", nl.Area())
+	}
+	return nl, err
 }
 
 // coverRefs counts, per variable, how many chosen cuts (plus primary

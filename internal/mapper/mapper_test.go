@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -164,7 +165,7 @@ func TestMapFunctionalAllModes(t *testing.T) {
 	for _, mode := range []CostMode{Baseline, PowerAreaDelay, PowerDelayArea} {
 		for seed := int64(1); seed <= 10; seed++ {
 			g := randomAIG(seed, 6, 70, 5)
-			nl, err := Map(g, ml, Options{Mode: mode})
+			nl, err := Map(context.Background(), g, ml, Options{Mode: mode})
 			if err != nil {
 				t.Fatalf("mode %v seed %d: %v", mode, seed, err)
 			}
@@ -186,7 +187,7 @@ func TestMapHandlesPIAndInvertedPOs(t *testing.T) {
 	g.AddPO(a.Not(), "inv") // PO = !PI
 	g.AddPO(x, "and")
 	g.AddPO(x.Not(), "nand")
-	nl, err := Map(g, ml, Options{Mode: Baseline})
+	nl, err := Map(context.Background(), g, ml, Options{Mode: Baseline})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestMapSharedDriverPOs(t *testing.T) {
 	g.AddPO(x, "o1")
 	g.AddPO(x, "o2")
 	g.AddPO(x.Not(), "o3")
-	nl, err := Map(g, ml, Options{Mode: PowerDelayArea})
+	nl, err := Map(context.Background(), g, ml, Options{Mode: PowerDelayArea})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestModeChangesCostRanking(t *testing.T) {
 func TestMapVerilogExport(t *testing.T) {
 	ml := buildML(t, 300)
 	g := randomAIG(4, 5, 30, 3)
-	nl, err := Map(g, ml, Options{})
+	nl, err := Map(context.Background(), g, ml, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,11 +269,11 @@ func TestRefinementPassesDoNotHurt(t *testing.T) {
 	ml := buildML(t, 300)
 	for seed := int64(1); seed <= 5; seed++ {
 		g := randomAIG(seed, 6, 80, 5)
-		one, err := Map(g, ml, Options{Mode: Baseline, Passes: 1})
+		one, err := Map(context.Background(), g, ml, Options{Mode: Baseline, Passes: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		two, err := Map(g, ml, Options{Mode: Baseline, Passes: 2})
+		two, err := Map(context.Background(), g, ml, Options{Mode: Baseline, Passes: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/pdk"
 )
 
@@ -31,6 +32,7 @@ func ReadVerilog(r io.Reader, cells []*pdk.Cell) (*Netlist, error) {
 	src := sb.String()
 
 	var nl *Netlist
+	var headerPorts []string
 	sc := bufio.NewScanner(strings.NewReader(src))
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	sc.Split(splitStatements)
@@ -45,11 +47,12 @@ func ReadVerilog(r io.Reader, cells []*pdk.Cell) (*Netlist, error) {
 		}
 		switch fields[0] {
 		case "module":
-			name, _, err := parseModuleHeader(stmt)
+			name, ports, err := parseModuleHeader(stmt)
 			if err != nil {
 				return nil, err
 			}
 			nl = New(name, cells)
+			headerPorts = ports
 		case "input", "output", "wire":
 			if nl == nil {
 				return nil, fmt.Errorf("verilog: declaration before module")
@@ -85,6 +88,21 @@ func ReadVerilog(r io.Reader, cells []*pdk.Cell) (*Netlist, error) {
 	if nl == nil {
 		return nil, fmt.Errorf("verilog: no module found")
 	}
+	// Diagnostics go through the leveled logger, never straight to stderr:
+	// callers (tests, servers) control verbosity and destination.
+	if declared := len(nl.Inputs) + len(nl.Outputs); len(headerPorts) != declared {
+		obs.Log().Warnf("verilog: module %s header lists %d ports but %d are declared",
+			nl.Name, len(headerPorts), declared)
+	}
+	for _, issue := range nl.Check() {
+		if issue.Kind == "unused-gate" {
+			obs.Log().Debugf("verilog: module %s: %s", nl.Name, issue)
+		} else {
+			obs.Log().Warnf("verilog: module %s: %s", nl.Name, issue)
+		}
+	}
+	obs.Log().Debugf("verilog: read module %s: %d gates, %d inputs, %d outputs",
+		nl.Name, nl.NumGates(), len(nl.Inputs), len(nl.Outputs))
 	return nl, nil
 }
 

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkDisabledSpan proves the disabled-tracing fast path is
+// allocation-free: instrumentation left in hot paths costs one atomic load.
+func BenchmarkDisabledSpan(b *testing.B) {
+	DisableTracing()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx2, s := Start(ctx, "bench.disabled")
+		s.SetAttr("k", 1)
+		s.End()
+		_ = ctx2
+	}
+}
+
+// BenchmarkDisabledCounter measures the disabled-metrics fast path.
+func BenchmarkDisabledCounter(b *testing.B) {
+	DisableMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		C("bench.counter").Add(1)
+	}
+}
+
+// BenchmarkEnabledCounter measures the enabled hot path (lookup + atomic
+// add) for comparison.
+func BenchmarkEnabledCounter(b *testing.B) {
+	DisableMetrics()
+	EnableMetrics()
+	defer DisableMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		C("bench.counter").Add(1)
+	}
+}
+
+// BenchmarkEnabledSpan measures span creation cost with tracing on.
+func BenchmarkEnabledSpan(b *testing.B) {
+	DisableTracing()
+	EnableTracing()
+	defer DisableTracing()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "bench.enabled")
+		s.End()
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Flags carries the standard observability CLI flags shared by every
+// binary in the flow: -metrics, -trace, -pprof, and -loglevel.
+type Flags struct {
+	MetricsPath string
+	TracePath   string
+	PprofAddr   string
+	LogLevel    string
+}
+
+// InstallFlags registers the observability flags on fs (typically
+// flag.CommandLine, before flag.Parse). Call Activate after parsing.
+func InstallFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsPath, "metrics", "", "write a metrics dump to this file on exit ('-' for stderr)")
+	fs.StringVar(&f.TracePath, "trace", "", "write Chrome trace_event JSON (chrome://tracing, Perfetto) to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.LogLevel, "loglevel", "", "diagnostic log level: debug|info|warn|error (default warn)")
+	return f
+}
+
+// Activate enables the subsystems the parsed flags ask for and returns a
+// flush function that writes the -metrics and -trace outputs; call it on
+// every exit path (it is safe to call more than once, later calls
+// overwrite the files with fresher data).
+func (f *Flags) Activate() (flush func(), err error) {
+	if f.LogLevel != "" {
+		level, err := ParseLogLevel(f.LogLevel)
+		if err != nil {
+			return nil, err
+		}
+		SetLogLevel(level)
+	}
+	if f.MetricsPath != "" {
+		EnableMetrics()
+	}
+	if f.TracePath != "" {
+		EnableTracing()
+	}
+	if f.PprofAddr != "" {
+		if err := servePprof(f.PprofAddr); err != nil {
+			return nil, err
+		}
+	}
+	return f.Flush, nil
+}
+
+// Flush writes the metrics and trace outputs requested by the flags.
+// Failures are reported through the logger rather than returned: flushing
+// telemetry must never mask the tool's own exit status.
+func (f *Flags) Flush() {
+	if f.MetricsPath != "" {
+		if f.MetricsPath == "-" {
+			fmt.Fprintln(os.Stderr, "--- metrics ---")
+			if err := Metrics().WriteText(os.Stderr); err != nil {
+				Log().Errorf("obs: writing metrics: %v", err)
+			}
+		} else if err := writeFileWith(f.MetricsPath, Metrics().WriteText); err != nil {
+			Log().Errorf("obs: writing metrics to %s: %v", f.MetricsPath, err)
+		}
+	}
+	if f.TracePath != "" {
+		if err := writeFileWith(f.TracePath, Tracing().WriteChromeTrace); err != nil {
+			Log().Errorf("obs: writing trace to %s: %v", f.TracePath, err)
+		}
+	}
+}
+
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	g, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(g); err != nil {
+		g.Close()
+		return err
+	}
+	return g.Close()
+}
+
+// servePprof mounts the net/http/pprof handlers on a dedicated mux (not
+// http.DefaultServeMux) and serves them in the background.
+func servePprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: pprof listen on %s: %w", addr, err)
+	}
+	Log().Infof("obs: pprof serving on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			Log().Errorf("obs: pprof server: %v", err)
+		}
+	}()
+	return nil
+}

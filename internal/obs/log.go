@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LogLevel orders diagnostic severity.
+type LogLevel int32
+
+// Levels, least to most severe.
+const (
+	LogDebug LogLevel = iota
+	LogInfo
+	LogWarn
+	LogError
+)
+
+func (l LogLevel) String() string {
+	switch l {
+	case LogDebug:
+		return "DEBUG"
+	case LogInfo:
+		return "INFO"
+	case LogWarn:
+		return "WARN"
+	default:
+		return "ERROR"
+	}
+}
+
+// Logger is a minimal leveled logger for library diagnostics, so internal
+// packages never write to stderr directly. The default logger writes
+// warnings and errors to stderr; CLIs raise or lower the level with
+// -loglevel.
+type Logger struct {
+	level atomic.Int32
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+var defaultLogger = func() *Logger {
+	l := &Logger{w: os.Stderr}
+	l.level.Store(int32(LogWarn))
+	return l
+}()
+
+// Log returns the process-global logger.
+func Log() *Logger { return defaultLogger }
+
+// SetLogLevel sets the global logger's minimum level.
+func SetLogLevel(level LogLevel) { defaultLogger.level.Store(int32(level)) }
+
+// SetLogOutput redirects the global logger (e.g. into a test buffer).
+func SetLogOutput(w io.Writer) {
+	defaultLogger.mu.Lock()
+	defaultLogger.w = w
+	defaultLogger.mu.Unlock()
+}
+
+// ParseLogLevel maps a flag string onto a level.
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch s {
+	case "debug":
+		return LogDebug, nil
+	case "info":
+		return LogInfo, nil
+	case "warn":
+		return LogWarn, nil
+	case "error":
+		return LogError, nil
+	}
+	return LogWarn, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+func (l *Logger) logf(level LogLevel, format string, args ...any) {
+	if l == nil || LogLevel(l.level.Load()) > level {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %-5s %s\n", time.Now().Format("15:04:05.000"), level, msg)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LogDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LogInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LogWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LogError, format, args...) }
+
+// DebugEnabled reports whether debug logs are being emitted, for call
+// sites that would otherwise pay to format large values.
+func (l *Logger) DebugEnabled() bool {
+	return l != nil && LogLevel(l.level.Load()) <= LogDebug
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	SetLogOutput(&sb)
+	t.Cleanup(func() {
+		SetLogOutput(os.Stderr)
+		SetLogLevel(LogWarn)
+	})
+
+	SetLogLevel(LogWarn)
+	Log().Debugf("hidden %d", 1)
+	Log().Infof("hidden %d", 2)
+	Log().Warnf("visible %d", 3)
+	Log().Errorf("visible %d", 4)
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("below-level messages leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  visible 3") || !strings.Contains(out, "ERROR visible 4") {
+		t.Errorf("missing leveled output:\n%s", out)
+	}
+
+	sb.Reset()
+	SetLogLevel(LogDebug)
+	Log().Debugf("now shown")
+	if !strings.Contains(sb.String(), "DEBUG now shown") {
+		t.Errorf("debug not shown at debug level:\n%s", sb.String())
+	}
+	if !Log().DebugEnabled() {
+		t.Error("DebugEnabled false at debug level")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for s, want := range map[string]LogLevel{
+		"debug": LogDebug, "info": LogInfo, "warn": LogWarn, "error": LogError,
+	} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted junk")
+	}
+}

@@ -5,10 +5,12 @@
 package power
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sta"
 )
 
@@ -43,14 +45,18 @@ func (r *Report) LeakageShare() float64 {
 }
 
 // Analyze computes the three-way power split of a mapped netlist.
-func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Report, error) {
+func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Report, error) {
+	ctx, span := obs.Start(ctx, "power.analyze")
+	span.SetAttr("design", nl.Name)
+	defer span.End()
+	obs.C("power.analyses").Inc()
 	if opt.ClockPeriod <= 0 {
 		return nil, fmt.Errorf("power: clock period must be positive")
 	}
 	if opt.SimRounds == 0 {
 		opt.SimRounds = 8
 	}
-	timing, err := sta.Analyze(nl, lib, opt.STA)
+	timing, err := sta.Analyze(ctx, nl, lib, opt.STA)
 	if err != nil {
 		return nil, err
 	}

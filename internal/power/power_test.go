@@ -1,6 +1,7 @@
 package power
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/netlist"
@@ -23,7 +24,7 @@ func demoNetlist(used []*pdk.Cell) *netlist.Netlist {
 
 func TestPowerBreakdownPositive(t *testing.T) {
 	lib, used := testlib.Build(catalog, testlib.Names(), 300)
-	rep, err := Analyze(demoNetlist(used), lib, Options{ClockPeriod: 1e-9})
+	rep, err := Analyze(context.Background(), demoNetlist(used), lib, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +42,11 @@ func TestPowerBreakdownPositive(t *testing.T) {
 func TestCryoLeakageCollapse(t *testing.T) {
 	lib300, used := testlib.Build(catalog, testlib.Names(), 300)
 	lib10, _ := testlib.Build(catalog, testlib.Names(), 10)
-	r300, err := Analyze(demoNetlist(used), lib300, Options{ClockPeriod: 1e-9})
+	r300, err := Analyze(context.Background(), demoNetlist(used), lib300, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r10, err := Analyze(demoNetlist(used), lib10, Options{ClockPeriod: 1e-9})
+	r10, err := Analyze(context.Background(), demoNetlist(used), lib10, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestCryoLeakageCollapse(t *testing.T) {
 
 func TestFasterClockMoreDynamicPower(t *testing.T) {
 	lib, used := testlib.Build(catalog, testlib.Names(), 300)
-	slow, err := Analyze(demoNetlist(used), lib, Options{ClockPeriod: 2e-9})
+	slow, err := Analyze(context.Background(), demoNetlist(used), lib, Options{ClockPeriod: 2e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := Analyze(demoNetlist(used), lib, Options{ClockPeriod: 1e-9})
+	fast, err := Analyze(context.Background(), demoNetlist(used), lib, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestFasterClockMoreDynamicPower(t *testing.T) {
 
 func TestInvalidPeriodRejected(t *testing.T) {
 	lib, used := testlib.Build(catalog, testlib.Names(), 300)
-	if _, err := Analyze(demoNetlist(used), lib, Options{}); err == nil {
+	if _, err := Analyze(context.Background(), demoNetlist(used), lib, Options{}); err == nil {
 		t.Error("zero clock period accepted")
 	}
 }
@@ -88,11 +89,11 @@ func TestMoreGatesMoreLeakage(t *testing.T) {
 	big := demoNetlist(used)
 	big.AddGate("INVx1", []string{"n3"}, "n4")
 	big.AddGate("INVx1", []string{"n4"}, "n5")
-	rs, err := Analyze(small, lib, Options{ClockPeriod: 1e-9})
+	rs, err := Analyze(context.Background(), small, lib, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Analyze(big, lib, Options{ClockPeriod: 1e-9})
+	rb, err := Analyze(context.Background(), big, lib, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ func TestAttributeSumsToReport(t *testing.T) {
 	lib, used := testlib.Build(catalog, testlib.Names(), 300)
 	nl := demoNetlist(used)
 	opt := Options{ClockPeriod: 1e-9, Seed: 4}
-	rep, err := Analyze(nl, lib, opt)
+	rep, err := Analyze(context.Background(), nl, lib, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cells, err := Attribute(nl, lib, opt)
+	cells, err := Attribute(context.Background(), nl, lib, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestAttributeSumsToReport(t *testing.T) {
 
 func TestWriteTopConsumers(t *testing.T) {
 	lib, used := testlib.Build(catalog, testlib.Names(), 300)
-	cells, err := Attribute(demoNetlist(used), lib, Options{ClockPeriod: 1e-9})
+	cells, err := Attribute(context.Background(), demoNetlist(used), lib, Options{ClockPeriod: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package power
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -27,14 +28,14 @@ func (c *CellPower) Total() float64 { return c.Leakage + c.Internal + c.Switchin
 // -cell" view of a signoff tool). The sum over instances equals the
 // Report's totals except for primary-input net switching, which has no
 // owning gate.
-func Attribute(nl *netlist.Netlist, lib *liberty.Library, opt Options) ([]CellPower, error) {
+func Attribute(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt Options) ([]CellPower, error) {
 	if opt.ClockPeriod <= 0 {
 		return nil, fmt.Errorf("power: clock period must be positive")
 	}
 	if opt.SimRounds == 0 {
 		opt.SimRounds = 8
 	}
-	timing, err := sta.Analyze(nl, lib, opt.STA)
+	timing, err := sta.Analyze(ctx, nl, lib, opt.STA)
 	if err != nil {
 		return nil, err
 	}

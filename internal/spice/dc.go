@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/constants"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // ErrNoConvergence is returned when Newton iteration fails even with gmin
@@ -15,6 +16,12 @@ import (
 var ErrNoConvergence = errors.New("spice: operating point did not converge")
 
 var debugNewton = os.Getenv("SPICE_DEBUG") != ""
+
+func init() {
+	if debugNewton {
+		obs.SetLogLevel(obs.LogDebug)
+	}
+}
 
 const (
 	newtonTolV  = 1e-6
@@ -65,12 +72,14 @@ func (c *Circuit) opAt(t float64, prev []float64, dt float64, guess []float64) (
 	// Fallback 1: gmin continuation — solve with heavy gmin and relax,
 	// keeping any caller-provided guess so warm starts stay on their branch
 	// (bistable circuits!).
+	obs.C("spice.newton.retries").Inc()
 	if sol, err := c.gminLadderFrom(t, prev, dt, c.Temp, x); err == nil {
 		return sol, nil
 	}
 	// Fallback 2: temperature continuation. The 300 K system is far better
 	// conditioned (gentler exponentials); walk the solution down to the
 	// target temperature, warm-starting each rung from the caller's guess.
+	obs.C("spice.temp_continuation.runs").Inc()
 	ladder := []float64{300, 150, 77, 40, 20, 12, c.Temp}
 	x = make([]float64, n)
 	if guess != nil {
@@ -106,20 +115,34 @@ func (c *Circuit) opAt(t float64, prev []float64, dt float64, guess []float64) (
 }
 
 func (c *Circuit) gminLadderFrom(t float64, prev []float64, dt, temp float64, x0 []float64) ([]float64, error) {
+	obs.C("spice.gmin.ladders").Inc()
 	x := append([]float64(nil), x0...)
-	for _, gmin := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, baseGmin} {
+	for depth, gmin := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, baseGmin} {
 		sol, err := c.newton(t, prev, dt, x, gmin, temp)
 		if err != nil {
+			obs.H("spice.gmin.ladder_depth").Observe(float64(depth + 1))
 			return nil, fmt.Errorf("%w (gmin=%g)", ErrNoConvergence, gmin)
 		}
 		x = sol
+		obs.C("spice.gmin.steps").Inc()
 	}
+	obs.H("spice.gmin.ladder_depth").Observe(9)
 	return x, nil
 }
 
 // newton runs damped Newton-Raphson with a fixed gmin at the given
 // temperature.
-func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gmin, temp float64) ([]float64, error) {
+func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gmin, temp float64) (sol []float64, err error) {
+	obs.C("spice.newton.solves").Inc()
+	iters := 0
+	defer func() {
+		obs.C("spice.newton.iterations").Add(int64(iters))
+		if err == nil {
+			obs.H("spice.newton.iters_per_solve").Observe(float64(iters))
+		} else {
+			obs.C("spice.newton.nonconverged").Inc()
+		}
+	}()
 	n := c.systemSize()
 	nNode := len(c.names)
 	g := linalg.NewMatrix(n)
@@ -128,6 +151,7 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 
 	damp := dampFor(temp)
 	for it := 0; it < newtonMaxIt; it++ {
+		iters = it + 1
 		// Shrink the trust region if the iteration is slow to settle, which
 		// breaks limit cycles around high-impedance internal nodes.
 		if it > 0 && it%60 == 0 {
@@ -198,7 +222,7 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 			return x, nil
 		}
 		if debugNewton && it > newtonMaxIt-20 {
-			fmt.Printf("newton it=%d temp=%g gmin=%g maxDV=%.3e x=%.4v\n", it, temp, gmin, maxDV, x)
+			obs.Log().Debugf("spice: newton it=%d temp=%g gmin=%g maxDV=%.3e x=%.4v", it, temp, gmin, maxDV, x)
 		}
 	}
 	return nil, ErrNoConvergence

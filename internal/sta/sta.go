@@ -5,10 +5,12 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Options configures an STA run.
@@ -36,7 +38,12 @@ type Result struct {
 }
 
 // Analyze runs STA on a mapped netlist against its characterized library.
-func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, error) {
+func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, error) {
+	_, span := obs.Start(ctx, "sta.analyze")
+	span.SetAttr("design", nl.Name)
+	span.SetAttr("gates", nl.NumGates())
+	defer span.End()
+	obs.C("sta.analyses").Inc()
 	if opt.InputSlew == 0 {
 		opt.InputSlew = 10e-12
 	}
@@ -77,6 +84,7 @@ func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, e
 		res.Arrival[in] = 0
 		res.Slew[in] = opt.InputSlew
 	}
+	arcsEvaluated := 0
 	for _, g := range nl.Gates {
 		lc := lib.FindCell(g.Cell)
 		def := nl.Cell(g.Cell)
@@ -94,6 +102,7 @@ func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, e
 				return nil, fmt.Errorf("sta: net %s has no arrival (gate %s)", net, g.Name)
 			}
 			inSlew := res.Slew[net]
+			arcsEvaluated++
 			d := tm.CellRise.Lookup(inSlew, load)
 			if f := tm.CellFall.Lookup(inSlew, load); f > d {
 				d = f
@@ -130,6 +139,12 @@ func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, e
 	for net := worstNet; net != ""; net = prev[net] {
 		res.CriticalPath = append(res.CriticalPath, net)
 	}
+	obs.C("sta.arcs_evaluated").Add(int64(arcsEvaluated))
+	obs.C("sta.nets_propagated").Add(int64(len(res.Arrival)))
+	obs.H("sta.critical_path_nets").Observe(float64(len(res.CriticalPath)))
+	obs.H("sta.critical_delay_seconds").Observe(res.CriticalDelay)
+	span.SetAttr("critical_ps", res.CriticalDelay*1e12)
+	span.SetAttr("arcs", arcsEvaluated)
 	res.nl, res.lib, res.opt = nl, lib, opt
 	return res, nil
 }
@@ -138,6 +153,7 @@ func Analyze(nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Result, e
 // backward-propagated required time minus the arrival time. Negative slack
 // marks a timing violation.
 func (r *Result) Slacks(clockPeriod float64) map[string]float64 {
+	obs.C("sta.slack_queries").Inc()
 	nl, lib := r.nl, r.lib
 	required := make(map[string]float64, len(r.Arrival))
 	for net := range r.Arrival {

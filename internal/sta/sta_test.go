@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/netlist"
@@ -26,7 +27,7 @@ func TestInverterChainDelayAccumulates(t *testing.T) {
 		}
 		nl.Outputs = []string{"y"}
 		nl.Aliases["y"] = prev
-		res, err := Analyze(nl, lib, Options{})
+		res, err := Analyze(context.Background(), nl, lib, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func TestFanoutLoadIncreasesDelay(t *testing.T) {
 		}
 		nl.Outputs = []string{"y"}
 		nl.Aliases["y"] = "n0"
-		res, err := Analyze(nl, lib, Options{})
+		res, err := Analyze(context.Background(), nl, lib, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestCriticalPathTraversal(t *testing.T) {
 	nl.AddGate("NAND2x1", []string{"n2", "b"}, "n3")
 	nl.Outputs = []string{"y"}
 	nl.Aliases["y"] = "n3"
-	res, err := Analyze(nl, lib, Options{})
+	res, err := Analyze(context.Background(), nl, lib, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestAnalyzeErrors(t *testing.T) {
 	nl.AddGate("INVx1", []string{"ghost"}, "n1")
 	nl.Outputs = []string{"y"}
 	nl.Aliases["y"] = "n1"
-	if _, err := Analyze(nl, lib, Options{}); err == nil {
+	if _, err := Analyze(context.Background(), nl, lib, Options{}); err == nil {
 		t.Error("missing arrival not detected")
 	}
 	// Cell absent from the library.
@@ -104,7 +105,7 @@ func TestAnalyzeErrors(t *testing.T) {
 	nl2.AddGate("DLY4x1", []string{"a"}, "n1")
 	nl2.Outputs = []string{"y"}
 	nl2.Aliases["y"] = "n1"
-	if _, err := Analyze(nl2, lib, Options{}); err == nil {
+	if _, err := Analyze(context.Background(), nl2, lib, Options{}); err == nil {
 		t.Error("unknown library cell not detected")
 	}
 }
@@ -118,7 +119,7 @@ func TestSlacks(t *testing.T) {
 	nl.AddGate("NAND2x1", []string{"n2", "b"}, "n3")
 	nl.Outputs = []string{"y"}
 	nl.Aliases["y"] = "n3"
-	res, err := Analyze(nl, lib, Options{})
+	res, err := Analyze(context.Background(), nl, lib, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/aig"
@@ -28,7 +29,7 @@ func TestSTAMatchesSPICE(t *testing.T) {
 		cells = append(cells, pdk.FindCell(catalog, n))
 	}
 	const temp = 300.0
-	lib, err := charlib.CharacterizeLibrary("xcheck", cells, charlib.QuickConfig(temp), nil)
+	lib, err := charlib.CharacterizeLibrary(context.Background(), "xcheck", cells, charlib.QuickConfig(temp), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +53,14 @@ func TestSTAMatchesSPICE(t *testing.T) {
 	}
 	g.AddPO(acc, "y")
 
-	nl, err := mapper.Map(g, ml, mapper.Options{Mode: mapper.Baseline, K: 3})
+	nl, err := mapper.Map(context.Background(), g, ml, mapper.Options{Mode: mapper.Baseline, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	const vdd = 0.7
 	const inSlew = 10e-12
 	const outCap = 1e-15
-	staRes, err := sta.Analyze(nl, lib, sta.Options{InputSlew: inSlew, OutputCap: outCap, WireCap: 1e-18})
+	staRes, err := sta.Analyze(context.Background(), nl, lib, sta.Options{InputSlew: inSlew, OutputCap: outCap, WireCap: 1e-18})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aig"
 	"repro/internal/liberty"
 	"repro/internal/mapper"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sta"
 )
@@ -46,7 +48,10 @@ type FlowOptions struct {
 
 // Compare synthesizes the circuit under all three scenarios against the
 // given characterized library and reports normalized power/delay metrics.
-func Compare(g *aig.AIG, ml *mapper.MatchLibrary, lib *liberty.Library, opt FlowOptions) (*Comparison, error) {
+func Compare(ctx context.Context, g *aig.AIG, ml *mapper.MatchLibrary, lib *liberty.Library, opt FlowOptions) (*Comparison, error) {
+	ctx, span := obs.Start(ctx, "synth.compare")
+	span.SetAttr("design", g.Name)
+	defer span.End()
 	cmp := &Comparison{Circuit: g.Name}
 	scenarios := []Scenario{BaselinePowerAware, CryoPAD, CryoPDA}
 	results := make([]*Result, len(scenarios))
@@ -55,7 +60,7 @@ func Compare(g *aig.AIG, ml *mapper.MatchLibrary, lib *liberty.Library, opt Flow
 		if !opt.Sizing {
 			sizeLib = nil
 		}
-		res, err := Synthesize(g, ml, Options{
+		res, err := Synthesize(ctx, g, ml, Options{
 			Scenario: sc, K: opt.K, LutK: opt.LutK, Seed: opt.Seed,
 			Verify: opt.Verify, SkipMfs: opt.SkipMfs, Lib: sizeLib,
 		})
@@ -68,7 +73,7 @@ func Compare(g *aig.AIG, ml *mapper.MatchLibrary, lib *liberty.Library, opt Flow
 	var worst float64
 	timings := make([]*sta.Result, len(scenarios))
 	for i, res := range results {
-		tr, err := sta.Analyze(res.Netlist, lib, opt.STA)
+		tr, err := sta.Analyze(ctx, res.Netlist, lib, opt.STA)
 		if err != nil {
 			return nil, fmt.Errorf("synth: %s STA: %w", g.Name, err)
 		}
@@ -79,7 +84,7 @@ func Compare(g *aig.AIG, ml *mapper.MatchLibrary, lib *liberty.Library, opt Flow
 	}
 	cmp.ClockPeriod = worst * 1.05 // small guard band over the slowest variant
 	for i, sc := range scenarios {
-		rep, err := power.Analyze(results[i].Netlist, lib, power.Options{
+		rep, err := power.Analyze(ctx, results[i].Netlist, lib, power.Options{
 			ClockPeriod: cmp.ClockPeriod,
 			Seed:        opt.Seed + int64(i),
 			STA:         opt.STA,

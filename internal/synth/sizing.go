@@ -1,11 +1,13 @@
 package synth
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pdk"
 	"repro/internal/sta"
 )
@@ -25,8 +27,11 @@ type ResizeResult struct {
 // multiple of the pre-sizing delay (e.g. 1.02 protects delay, 1.3 trades it
 // away). This is the gate-sizing step real power-aware flows run after
 // mapping; the baseline scenario leaves sizes as mapped.
-func ResizeForPower(nl *netlist.Netlist, lib *liberty.Library, staOpt sta.Options, delayBudget float64) (*ResizeResult, error) {
-	res0, err := sta.Analyze(nl, lib, staOpt)
+func ResizeForPower(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, staOpt sta.Options, delayBudget float64) (*ResizeResult, error) {
+	ctx, span := obs.Start(ctx, "synth.resize")
+	span.SetAttr("design", nl.Name)
+	defer span.End()
+	res0, err := sta.Analyze(ctx, nl, lib, staOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +41,7 @@ func ResizeForPower(nl *netlist.Netlist, lib *liberty.Library, staOpt sta.Option
 	families := driveFamilies(nl)
 	// Downsizing sweep: a few iterations of slack-guided swaps.
 	for iter := 0; iter < 4; iter++ {
-		res, err := sta.Analyze(nl, lib, staOpt)
+		res, err := sta.Analyze(ctx, nl, lib, staOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +70,7 @@ func ResizeForPower(nl *netlist.Netlist, lib *liberty.Library, staOpt sta.Option
 	}
 	// Repair: upsize along the critical path until the limit holds.
 	for iter := 0; iter < 8; iter++ {
-		res, err := sta.Analyze(nl, lib, staOpt)
+		res, err := sta.Analyze(ctx, nl, lib, staOpt)
 		if err != nil {
 			return nil, err
 		}
@@ -96,12 +101,16 @@ func ResizeForPower(nl *netlist.Netlist, lib *liberty.Library, staOpt sta.Option
 		}
 	}
 	if out.DelayAfter == 0 {
-		res, err := sta.Analyze(nl, lib, staOpt)
+		res, err := sta.Analyze(ctx, nl, lib, staOpt)
 		if err != nil {
 			return nil, err
 		}
 		out.DelayAfter = res.CriticalDelay
 	}
+	obs.C("synth.resize.downsized").Add(int64(out.Downsized))
+	obs.C("synth.resize.upsized").Add(int64(out.Upsized))
+	span.SetAttr("downsized", out.Downsized)
+	span.SetAttr("upsized", out.Upsized)
 	return out, nil
 }
 

@@ -14,12 +14,14 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aig"
 	"repro/internal/liberty"
 	"repro/internal/mapper"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sta"
 )
 
@@ -96,7 +98,12 @@ type Result struct {
 
 // Synthesize runs the full pipeline on the input AIG against the match
 // library.
-func Synthesize(g *aig.AIG, ml *mapper.MatchLibrary, opt Options) (*Result, error) {
+func Synthesize(ctx context.Context, g *aig.AIG, ml *mapper.MatchLibrary, opt Options) (*Result, error) {
+	ctx, span := obs.Start(ctx, "synth.synthesize")
+	span.SetAttr("design", g.Name)
+	span.SetAttr("scenario", opt.Scenario.String())
+	defer span.End()
+	obs.C("synth.runs").Inc()
 	if opt.K == 0 {
 		opt.K = 5
 	}
@@ -106,14 +113,21 @@ func Synthesize(g *aig.AIG, ml *mapper.MatchLibrary, opt Options) (*Result, erro
 	res := &Result{Scenario: opt.Scenario, NodesIn: g.NumNodes(), DepthIn: g.Depth()}
 
 	// Stage 1: c2rs.
+	_, c2rsSpan := obs.Start(ctx, "synth.c2rs")
 	step1 := c2rs(g, opt.Seed)
+	c2rsSpan.SetAttr("nodes_in", res.NodesIn)
+	c2rsSpan.SetAttr("nodes_out", step1.NumNodes())
+	c2rsSpan.End()
 	if err := verifyStage(g, step1, opt, "c2rs"); err != nil {
 		return nil, err
 	}
 	res.NodesC2RS = step1.NumNodes()
+	obs.C("synth.c2rs.nodes_delta").Add(int64(res.NodesC2RS - res.NodesIn))
 
 	// Stage 2: dch -p; if -p; mfs -pegd; strash.
+	_, powSpan := obs.Start(ctx, "synth.power_stage")
 	step2, err := powerStage(step1, opt)
+	powSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +137,10 @@ func Synthesize(g *aig.AIG, ml *mapper.MatchLibrary, opt Options) (*Result, erro
 	res.NodesPower = step2.NumNodes()
 	res.DepthOut = step2.Depth()
 	res.Optimized = step2
+	obs.C("synth.power_stage.nodes_delta").Add(int64(res.NodesPower - res.NodesC2RS))
 
 	// Stage 3: technology mapping with the scenario's priority list.
-	nl, err := mapper.Map(step2, ml, mapper.Options{Mode: opt.Scenario.MapMode(), K: opt.K})
+	nl, err := mapper.Map(ctx, step2, ml, mapper.Options{Mode: opt.Scenario.MapMode(), K: opt.K})
 	if err != nil {
 		return nil, fmt.Errorf("synth: mapping: %w", err)
 	}
@@ -139,7 +154,7 @@ func Synthesize(g *aig.AIG, ml *mapper.MatchLibrary, opt Options) (*Result, erro
 		if opt.Scenario == CryoPAD {
 			budget = 1.35
 		}
-		if _, err := ResizeForPower(nl, opt.Lib, sta.Options{}, budget); err != nil {
+		if _, err := ResizeForPower(ctx, nl, opt.Lib, sta.Options{}, budget); err != nil {
 			return nil, fmt.Errorf("synth: sizing: %w", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/aig"
@@ -43,7 +44,7 @@ func TestSynthesizeSmallCircuitsVerified(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, sc := range []Scenario{BaselinePowerAware, CryoPAD, CryoPDA} {
-			res, err := Synthesize(g, ml, Options{Scenario: sc, Verify: true, Seed: 5})
+			res, err := Synthesize(context.Background(), g, ml, Options{Scenario: sc, Verify: true, Seed: 5})
 			if err != nil {
 				t.Fatalf("%s %v: %v", name, sc, err)
 			}
@@ -100,7 +101,7 @@ func TestCompareProducesMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(g, ml, lib, FlowOptions{Seed: 3})
+	cmp, err := Compare(context.Background(), g, ml, lib, FlowOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,15 +155,15 @@ func TestAblationFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Synthesize(g, ml, Options{Scenario: CryoPAD, Seed: 1})
+	full, err := Synthesize(context.Background(), g, ml, Options{Scenario: CryoPAD, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noMfs, err := Synthesize(g, ml, Options{Scenario: CryoPAD, Seed: 1, SkipMfs: true})
+	noMfs, err := Synthesize(context.Background(), g, ml, Options{Scenario: CryoPAD, Seed: 1, SkipMfs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noChoices, err := Synthesize(g, ml, Options{Scenario: CryoPAD, Seed: 1, SkipChoices: true})
+	noChoices, err := Synthesize(context.Background(), g, ml, Options{Scenario: CryoPAD, Seed: 1, SkipChoices: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestResizeForPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Synthesize(g, ml, Options{Scenario: CryoPAD, Seed: 2})
+	res, err := Synthesize(context.Background(), g, ml, Options{Scenario: CryoPAD, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, err := ResizeForPower(res.Netlist, lib, staOptions(), 1.3)
+	rr, err := ResizeForPower(context.Background(), res.Netlist, lib, staOptions(), 1.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestSizingScenarioIntegration(t *testing.T) {
 	// With the library provided, sizing runs for cryo scenarios; every
 	// variant must still verify.
 	for _, sc := range []Scenario{BaselinePowerAware, CryoPAD, CryoPDA} {
-		res, err := Synthesize(g, ml, Options{Scenario: sc, Seed: 4, Lib: lib})
+		res, err := Synthesize(context.Background(), g, ml, Options{Scenario: sc, Seed: 4, Lib: lib})
 		if err != nil {
 			t.Fatalf("%v: %v", sc, err)
 		}
@@ -217,7 +218,7 @@ func TestSizingScenarioIntegration(t *testing.T) {
 		}
 	}
 	// Ablation flag must disable it without breaking anything.
-	if _, err := Synthesize(g, ml, Options{Scenario: CryoPAD, Seed: 4, Lib: lib, SkipSizing: true}); err != nil {
+	if _, err := Synthesize(context.Background(), g, ml, Options{Scenario: CryoPAD, Seed: 4, Lib: lib, SkipSizing: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -230,7 +231,7 @@ func TestNextDrive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Synthesize(g, ml, Options{Scenario: BaselinePowerAware, Seed: 1})
+	res, err := Synthesize(context.Background(), g, ml, Options{Scenario: BaselinePowerAware, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestSynthesizedNetlistsPassDRC(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, sc := range []Scenario{BaselinePowerAware, CryoPAD, CryoPDA} {
-			res, err := Synthesize(g, ml, Options{Scenario: sc, Seed: 6})
+			res, err := Synthesize(context.Background(), g, ml, Options{Scenario: sc, Seed: 6})
 			if err != nil {
 				t.Fatal(err)
 			}
