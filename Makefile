@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench clean
+.PHONY: build test race vet fmt check bench cec clean
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,14 @@ test:
 	$(GO) test ./...
 
 # Race-enabled run of the packages with concurrency (obs registry, charlib
-# worker pool) plus the rest of the tree.
+# worker pool, cec fallback miter workers) plus the rest of the tree.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/charlib/... ./internal/synth/...
+	$(GO) test -race ./internal/obs/... ./internal/charlib/... ./internal/synth/... ./internal/cec/...
+
+# Equivalence-checker suite under the race detector (the parallel fallback
+# miter is the flow's most concurrent code path).
+cec:
+	$(GO) test -race -v ./internal/cec/...
 
 vet:
 	$(GO) vet ./...

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/aig"
+	"repro/internal/cec"
 	"repro/internal/epfl"
 	"repro/internal/obs"
 )
@@ -64,14 +66,18 @@ func main() {
 			fmt.Printf("output: %s\n", describe(opt))
 		}
 		if *verify {
-			eq, proven := aig.Equivalent(g, opt, 500000)
-			switch {
-			case !proven:
-				fatal(fmt.Errorf("verification inconclusive (budget exhausted)"))
-			case !eq:
+			v := cec.Check(context.Background(), g, opt, cec.Options{})
+			switch v.Status {
+			case cec.Undecided:
+				fatal(fmt.Errorf("verification inconclusive (budget exhausted on %s)",
+					strings.Join(v.UndecidedOutputs, ", ")))
+			case cec.NotEqual:
+				fmt.Fprintf(os.Stderr, "output %s differs (input=%v optimized=%v)\n",
+					v.FailingOutput, v.OutA, v.OutB)
+				fmt.Fprintf(os.Stderr, "counterexample: %s\n", v.CexString())
 				fatal(fmt.Errorf("VERIFICATION FAILED: optimized AIG differs"))
 			default:
-				fmt.Println("verified: optimized AIG is equivalent")
+				fmt.Println("verified: optimized AIG is equivalent (SAT sweep)")
 			}
 		}
 	}

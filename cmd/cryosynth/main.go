@@ -8,6 +8,9 @@
 //	-breakdown  the leakage/internal/switching split at 300 K vs 10 K (Fig 2c)
 //	-report     machine-readable JSON run report (per-stage wall time, peak
 //	            AIG size, mapper cost, WNS at both temperature corners)
+//	-verify     formal signoff gate: SAT-sweeping equivalence proofs that
+//	            pre-opt ≡ post-opt ≡ mapped netlist for every scenario
+//	            (docs/CEC.md); the run exits non-zero on any failure
 //
 // With -testlib a fast synthetic library replaces the SPICE-characterized
 // one (useful for smoke runs); by default the SPICE-characterized 200-cell
@@ -27,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cec"
 	"repro/internal/charlib"
 	"repro/internal/epfl"
 	"repro/internal/liberty"
@@ -53,6 +57,7 @@ func main() {
 	top := flag.Int("top", 0, "also print the N highest-power instances per circuit (baseline scenario)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	report := flag.String("report", "", "write a JSON run report to this file")
+	verify := flag.Bool("verify", false, "run the formal equivalence signoff gate on every scenario")
 	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -83,6 +88,11 @@ func main() {
 		check(err)
 	}
 
+	if *verify {
+		if !runVerify(ctx, names, ml10, *seed) {
+			check(fmt.Errorf("verification FAILED (see table above)"))
+		}
+	}
 	if *breakdown {
 		runBreakdown(ctx, names, ml300, ml10, lib300, lib10, *seed)
 	}
@@ -176,6 +186,51 @@ func runFig3(ctx context.Context, names []string, ml *mapper.MatchLibrary, lib *
 		fmt.Println("\npaper reference: avg power saving 6.47% (p->a->d) / 5.74% (p->d->a);")
 		fmt.Println("avg delay overhead -6.21% (p->a->d) / -1.74% (p->d->a); best-case saving up to 28%.")
 	}
+}
+
+// runVerify is the formal signoff gate (-verify): for every circuit and
+// every scenario it proves pre-opt ≡ post-opt and post-opt ≡ mapped netlist
+// with the SAT-sweeping equivalence engine, printing one PASS/FAIL row per
+// (circuit, scenario) pair. Returns false if any check is not EQUAL.
+func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, seed int64) bool {
+	fmt.Println("\n=== formal equivalence signoff (pre-opt ≡ post-opt ≡ mapped) ===")
+	fmt.Printf("%-12s %-10s %10s %12s | %s\n", "circuit", "scenario", "pre≡post", "post≡mapped", "result")
+	scenarios := []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA}
+	ok := true
+	for _, name := range names {
+		g, err := epfl.Build(name)
+		check(err)
+		for _, sc := range scenarios {
+			res, err := synth.Synthesize(ctx, g, ml, synth.Options{Scenario: sc, Seed: seed})
+			check(err)
+			rep, err := synth.SignoffVerify(ctx, g, res, cec.Options{Seed: seed})
+			check(err)
+			result := "PASS"
+			if !rep.OK() {
+				result = "FAIL"
+				ok = false
+			}
+			fmt.Printf("%-12s %-10s %10s %12s | %s\n",
+				name, sc, rep.PrePost.Status, rep.PostMapped.Status, result)
+			for _, v := range []*cec.Verdict{rep.PrePost, rep.PostMapped} {
+				switch v.Status {
+				case cec.NotEqual:
+					if v.Reason != "" {
+						fmt.Printf("    reason: %s\n", v.Reason)
+					} else {
+						fmt.Printf("    output %s differs (golden=%v impl=%v), cex: %s\n",
+							v.FailingOutput, v.OutA, v.OutB, v.CexString())
+					}
+				case cec.Undecided:
+					fmt.Printf("    undecided outputs: %s\n", strings.Join(v.UndecidedOutputs, ", "))
+				}
+			}
+		}
+	}
+	if ok {
+		fmt.Println("signoff: all scenarios formally verified")
+	}
+	return ok
 }
 
 // runBreakdown reproduces Fig 2(c): the average leakage/internal/switching

@@ -1,0 +1,100 @@
+package cec
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+	"repro/internal/netlist"
+)
+
+// Elaborate rebuilds a technology-mapped netlist as an AIG: every cell
+// instance's boolean function is recovered from its PDK truth table (the
+// same table the mapper's cut matching used) and expanded into AND/INV
+// logic by Shannon decomposition, with structural hashing collapsing the
+// shared structure. PI and PO names follow the netlist's port lists, so the
+// result can be Check-ed directly against the synthesis flow's golden or
+// optimized AIG. Constant ties (1'b0 / 1'b1) elaborate to the AIG's
+// constant literals.
+func Elaborate(nl *netlist.Netlist) (*aig.AIG, error) {
+	g := aig.New(nl.Name)
+	lits := make(map[string]aig.Lit, len(nl.Inputs)+len(nl.Gates)+2)
+	lits[netlist.Const0] = aig.False
+	lits[netlist.Const1] = aig.True
+	for _, in := range nl.Inputs {
+		if _, dup := lits[in]; dup {
+			return nil, fmt.Errorf("cec: duplicate input %q", in)
+		}
+		lits[in] = g.AddPI(in)
+	}
+	for _, gate := range nl.Gates {
+		def := nl.Cell(gate.Cell)
+		if def == nil {
+			return nil, fmt.Errorf("cec: gate %s: unknown cell %q", gate.Name, gate.Cell)
+		}
+		if len(def.Outputs) != 1 {
+			return nil, fmt.Errorf("cec: gate %s: cell %s is not single-output", gate.Name, gate.Cell)
+		}
+		tt, ok := def.Truth(def.Outputs[0])
+		if !ok {
+			return nil, fmt.Errorf("cec: gate %s: cell %s has no truth table (sequential or >6 inputs)", gate.Name, gate.Cell)
+		}
+		ins := make([]aig.Lit, len(gate.Inputs))
+		for i, net := range gate.Inputs {
+			l, ok := lits[net]
+			if !ok {
+				return nil, fmt.Errorf("cec: gate %s: net %q used before driven", gate.Name, net)
+			}
+			ins[i] = l
+		}
+		if _, dup := lits[gate.Output]; dup {
+			return nil, fmt.Errorf("cec: gate %s: net %q driven twice", gate.Name, gate.Output)
+		}
+		lits[gate.Output] = buildTruth(g, tt, ins)
+	}
+	for _, o := range nl.Outputs {
+		drv := nl.Resolve(o)
+		l, ok := lits[drv]
+		if !ok {
+			return nil, fmt.Errorf("cec: output %q resolves to undriven net %q", o, drv)
+		}
+		g.AddPO(l, o)
+	}
+	return g, nil
+}
+
+// buildTruth synthesizes the function given by truth table tt over the
+// fanin literals ins (bit i of the row index is ins[i]) by recursive
+// Shannon cofactoring on the highest input. The AIG's structural hashing
+// and constant propagation keep the expansion compact.
+func buildTruth(g *aig.AIG, tt uint64, ins []aig.Lit) aig.Lit {
+	n := len(ins)
+	if n == 0 {
+		if tt&1 != 0 {
+			return aig.True
+		}
+		return aig.False
+	}
+	rows := 1 << uint(n)
+	if rows < 64 {
+		tt &= 1<<uint(rows) - 1
+	}
+	switch tt {
+	case 0:
+		return aig.False
+	case allOnes(rows):
+		return aig.True
+	}
+	half := rows / 2
+	loMask := allOnes(half)
+	lo := buildTruth(g, tt&loMask, ins[:n-1])               // ins[n-1] = 0 cofactor
+	hi := buildTruth(g, (tt>>uint(half))&loMask, ins[:n-1]) // ins[n-1] = 1 cofactor
+	return g.Mux(ins[n-1], hi, lo)
+}
+
+// allOnes returns a mask of the given number of low bits (64 -> all bits).
+func allOnes(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(bits) - 1
+}

@@ -1,0 +1,303 @@
+package cec
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/aig"
+	"repro/internal/obs"
+	"repro/internal/sat"
+)
+
+// proveResult is the outcome of one SAT equivalence query.
+type proveResult int
+
+const (
+	proven    proveResult = iota // UNSAT both directions: functionally equal
+	refuted                      // SAT: a distinguishing input pattern exists
+	undecided                    // conflict budget exhausted
+)
+
+// sweeper is the simulation-guided SAT-sweeping engine. It processes the
+// joint miter graph m in topological order and maintains a reduced
+// ("fraiged") graph red in which every proven-equivalent node class is
+// represented once: lift maps each m variable to its literal in red.
+//
+// Candidate classes come from bit-parallel random simulation: nodes whose
+// signatures agree (up to complement) are candidates, and an incremental
+// SAT solver over red proves or refutes each candidate merge. Refuted
+// candidates yield a counterexample pattern that is simulated back through
+// m to split every class it distinguishes — the classic cex-feedback loop,
+// run to fixpoint because each refinement strictly refines the partition.
+type sweeper struct {
+	m   *aig.AIG
+	opt Options
+	rng *rand.Rand
+
+	sig    [][]uint64 // m variable -> simulation signature words
+	nWords int
+
+	red  *aig.AIG
+	lift []aig.Lit // m variable -> literal in red
+
+	pool    []int            // processed, unmerged m variables (class reps)
+	classes map[uint64][]int // normalized signature hash -> pool members
+
+	solver *sat.Solver
+	cnf    *aig.CNFBuilder
+	piSat  []int // SAT variable of each primary input (model extraction)
+
+	stats *Stats
+}
+
+func newSweeper(m *aig.AIG, opt Options, stats *Stats) *sweeper {
+	s := &sweeper{
+		m:       m,
+		opt:     opt,
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+		sig:     make([][]uint64, m.NumVars()),
+		classes: make(map[uint64][]int),
+		stats:   stats,
+	}
+	stats.MiterNodes = m.NumNodes()
+
+	// Initial random simulation: opt.SimWords words of 64 patterns each.
+	in := make([]uint64, m.NumPIs())
+	for w := 0; w < opt.SimWords; w++ {
+		for i := range in {
+			in[i] = s.rng.Uint64()
+		}
+		vals := m.SimWords(in)
+		for v := range vals {
+			s.sig[v] = append(s.sig[v], vals[v])
+		}
+	}
+	s.nWords = opt.SimWords
+	stats.SimPatterns = 64 * opt.SimWords
+
+	// Reduced graph and the incremental solver over it.
+	s.red = aig.New(m.Name + "_red")
+	s.lift = make([]aig.Lit, m.NumVars())
+	s.lift[0] = aig.False
+	for i := 0; i < m.NumPIs(); i++ {
+		s.lift[i+1] = s.red.AddPI(m.PIName(i))
+	}
+	s.solver = sat.New(0)
+	s.cnf = aig.NewCNFBuilder(s.red, s.solver)
+	s.piSat = make([]int, m.NumPIs())
+	for i := range s.piSat {
+		s.piSat[i] = s.cnf.SatVar(i + 1)
+	}
+
+	// The constant and the PIs seed the classes, so constant nodes and
+	// input-equivalent nodes can merge onto them.
+	s.register(0)
+	for i := 1; i <= m.NumPIs(); i++ {
+		s.register(i)
+	}
+	return s
+}
+
+// sweep runs the engine over every AND node of the miter.
+func (s *sweeper) sweep(ctx context.Context) {
+	_, span := obs.Start(ctx, "cec.sweep")
+	defer span.End()
+	for v := s.m.NumPIs() + 1; v < s.m.NumVars(); v++ {
+		f0, f1 := s.m.Fanins(v)
+		a := s.lift[f0.Var()].NotIf(f0.IsCompl())
+		b := s.lift[f1.Var()].NotIf(f1.IsCompl())
+		s.lift[v] = s.red.And(a, b)
+		s.mergeOrRegister(v)
+	}
+	s.stats.ReducedNodes = s.red.NumNodes()
+	span.SetAttr("miter_nodes", s.stats.MiterNodes)
+	span.SetAttr("reduced_nodes", s.stats.ReducedNodes)
+	span.SetAttr("refinements", s.stats.Refinements)
+}
+
+// liftLit maps an m literal into the reduced graph.
+func (s *sweeper) liftLit(l aig.Lit) aig.Lit {
+	return s.lift[l.Var()].NotIf(l.IsCompl())
+}
+
+// mergeOrRegister tries to merge node v onto a sim-compatible class
+// representative; failing that, v becomes a representative itself.
+func (s *sweeper) mergeOrRegister(v int) {
+	var tried map[int]bool
+	skip := func(u int) {
+		if tried == nil {
+			tried = make(map[int]bool)
+		}
+		tried[u] = true
+	}
+	for {
+		u, phase, ok := s.candidate(v, tried)
+		if !ok {
+			s.register(v)
+			return
+		}
+		target := s.lift[u].NotIf(phase)
+		if target == s.lift[v] {
+			// Structural hashing already merged them in the reduced graph.
+			s.stats.StructMerges++
+			return
+		}
+		res, cex := s.prove(s.lift[v], target, s.opt.ClassBudget)
+		switch res {
+		case proven:
+			s.lift[v] = target
+			s.stats.SATMerges++
+			obs.C("cec.merges").Inc()
+			return
+		case refuted:
+			if s.stats.Refinements < s.opt.MaxRefinements {
+				// The counterexample pattern splits this class (and any
+				// other class it happens to distinguish); re-lookup.
+				s.refine(cex)
+			} else {
+				skip(u)
+			}
+		default: // undecided: leave v distinct from u, try other members
+			skip(u)
+		}
+	}
+}
+
+// candidate returns a pool member whose signature matches v's up to
+// complement (phase reports the complement), skipping tried ones.
+func (s *sweeper) candidate(v int, tried map[int]bool) (u int, phase, ok bool) {
+	for _, u := range s.classes[s.key(v)] {
+		if tried[u] {
+			continue
+		}
+		if ph, ok := s.sigEqual(u, v); ok {
+			return u, ph, true
+		}
+	}
+	return 0, false, false
+}
+
+// register adds v to the representative pool and the class index.
+func (s *sweeper) register(v int) {
+	k := s.key(v)
+	s.classes[k] = append(s.classes[k], v)
+	s.pool = append(s.pool, v)
+}
+
+// key hashes v's phase-normalized signature: signatures are complemented
+// so that the very first simulated pattern evaluates to 0, which puts a
+// node and its complement into the same class.
+func (s *sweeper) key(v int) uint64 {
+	h := fnv.New64a()
+	var compl uint64
+	if len(s.sig[v]) > 0 && s.sig[v][0]&1 != 0 {
+		compl = ^uint64(0)
+	}
+	var buf [8]byte
+	for _, w := range s.sig[v] {
+		w ^= compl
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// sigEqual compares full signatures: equal (phase false), complementary
+// (phase true), or neither.
+func (s *sweeper) sigEqual(u, v int) (phase, ok bool) {
+	su, sv := s.sig[u], s.sig[v]
+	if len(su) != len(sv) || len(su) == 0 {
+		return false, false
+	}
+	if su[0] == sv[0] {
+		for i := range su {
+			if su[i] != sv[i] {
+				return false, false
+			}
+		}
+		return false, true
+	}
+	for i := range su {
+		if su[i] != ^sv[i] {
+			return false, false
+		}
+	}
+	return true, true
+}
+
+// prove runs the incremental two-sided miter query x ≡ y on the shared
+// solver: encode both cones (lazily, once) and check satisfiability of
+// (x & !y) then (!x & y) under assumptions. On refuted, the returned slice
+// is the distinguishing primary-input assignment.
+func (s *sweeper) prove(x, y aig.Lit, budget int64) (proveResult, []bool) {
+	lx := s.cnf.SatLit(x)
+	ly := s.cnf.SatLit(y)
+	s.solver.ConflictBudget = budget
+	s.stats.SATCalls++
+	obs.C("cec.sat_calls").Inc()
+	switch s.solver.Solve(lx, ly.Not()) {
+	case sat.Sat:
+		s.stats.Cex++
+		obs.C("cec.cex").Inc()
+		return refuted, s.model()
+	case sat.Unknown:
+		s.stats.SATTimeouts++
+		return undecided, nil
+	}
+	s.stats.SATCalls++
+	obs.C("cec.sat_calls").Inc()
+	switch s.solver.Solve(lx.Not(), ly) {
+	case sat.Sat:
+		s.stats.Cex++
+		obs.C("cec.cex").Inc()
+		return refuted, s.model()
+	case sat.Unknown:
+		s.stats.SATTimeouts++
+		return undecided, nil
+	}
+	return proven, nil
+}
+
+// model extracts the primary-input assignment from the solver's model.
+// Must be called immediately after a Sat result (before new clauses).
+func (s *sweeper) model() []bool {
+	cex := make([]bool, len(s.piSat))
+	for i, sv := range s.piSat {
+		cex[i] = s.solver.Value(sv)
+	}
+	return cex
+}
+
+// refine simulates one more word of patterns seeded with the
+// counterexample (bit 0 exactly, bits 1..63 random perturbations of it)
+// and rebuilds the class index, splitting every class the new word
+// distinguishes.
+func (s *sweeper) refine(cex []bool) {
+	s.stats.Refinements++
+	obs.C("cec.classes_refined").Inc()
+	in := make([]uint64, s.m.NumPIs())
+	for i := range in {
+		var base uint64
+		if cex[i] {
+			base = ^uint64(0)
+		}
+		// ~1/8 of the neighbouring patterns flip each input; bit 0 stays
+		// the exact counterexample.
+		mask := s.rng.Uint64() & s.rng.Uint64() & s.rng.Uint64() &^ 1
+		in[i] = base ^ mask
+	}
+	vals := s.m.SimWords(in)
+	for v := range vals {
+		s.sig[v] = append(s.sig[v], vals[v])
+	}
+	s.nWords++
+	s.stats.SimPatterns += 64
+	s.classes = make(map[uint64][]int, len(s.pool))
+	for _, u := range s.pool {
+		k := s.key(u)
+		s.classes[k] = append(s.classes[k], u)
+	}
+}

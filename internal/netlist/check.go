@@ -27,6 +27,8 @@ func (i Issue) String() string {
 func (n *Netlist) Check() []Issue {
 	var issues []Issue
 	driven := make(map[string]string, len(n.Gates)) // net -> driver gate
+	driven[Const0] = "<const>"
+	driven[Const1] = "<const>"
 	for _, in := range n.Inputs {
 		driven[in] = "<input>"
 	}

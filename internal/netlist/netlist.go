@@ -15,6 +15,14 @@ import (
 	"repro/internal/pdk"
 )
 
+// Constant net names: Verilog scalar literals are accepted anywhere a net
+// can appear (gate input pins, assign right-hand sides). Simulation and the
+// structural checks treat them as always-driven constant drivers.
+const (
+	Const0 = "1'b0"
+	Const1 = "1'b1"
+)
+
 // Gate is one cell instance. Pins are ordered exactly as the PDK cell's
 // Inputs list; Output receives the single output pin.
 type Gate struct {
@@ -104,7 +112,9 @@ func (n *Netlist) Fanouts() map[string][][2]int {
 // SimulateWords runs 64-bit-parallel simulation: in maps each primary input
 // to a stimulus word. It returns the value of every net.
 func (n *Netlist) SimulateWords(in map[string]uint64) (map[string]uint64, error) {
-	vals := make(map[string]uint64, len(in)+len(n.Gates))
+	vals := make(map[string]uint64, len(in)+len(n.Gates)+2)
+	vals[Const0] = 0
+	vals[Const1] = ^uint64(0)
 	for k, v := range in {
 		vals[k] = v
 	}

@@ -190,6 +190,73 @@ func TestReadVerilogRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadVerilogConstantTies(t *testing.T) {
+	src := `// constant ties on pins and assigns
+module ties (a, y, z);
+input a;
+output y;
+output z;
+wire n1;
+NAND2x1 g0 (.A(a), .B(1'b1), .Y(n1));
+assign y = n1;
+assign z = 1'b0;
+endmodule`
+	nl, err := ReadVerilog(strings.NewReader(src), catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := nl.Check(); len(issues) != 0 {
+		t.Errorf("constant-tied netlist has issues: %v", issues)
+	}
+	// y = NAND(a, 1) = !a; z = 0 always.
+	for _, a := range []bool{false, true} {
+		out, err := nl.Eval(map[string]bool{"a": a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["y"] != !a || out["z"] != false {
+			t.Errorf("a=%v: got y=%v z=%v", a, out["y"], out["z"])
+		}
+	}
+}
+
+func TestReadVerilogRejectsBadConstants(t *testing.T) {
+	cases := []string{
+		// only 1'b0 / 1'b1 are recognized literals
+		"module m (a, y); input a; output y; INVx1 g0 (.A(2'b01), .Y(y)); endmodule",
+		"module m (a, y); input a; output y; INVx1 g0 (.A(1'bx), .Y(y)); endmodule",
+		// an instance must not drive a constant literal
+		"module m (a); input a; INVx1 g0 (.A(a), .Y(1'b0)); endmodule",
+	}
+	for _, src := range cases {
+		if _, err := ReadVerilog(strings.NewReader(src), catalog); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestReadVerilogErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		src      string
+		wantLine string
+	}{
+		{"module m (a, y);\ninput a;\noutput y;\nNOPE g0 (.A(a), .Y(y));\nendmodule", "line 4"},
+		{"module m (a, y);\ninput a;\n\noutput y;\nINVx1 g0 (a, y);\nendmodule", "line 5"},
+		{"wire w;\nmodule m (a);\nendmodule", "line 1"},
+		{"module m (a, y);\ninput a;\noutput y;\nINVx1 g0 (.Y(y));\nendmodule", "line 4"},
+	}
+	for _, tc := range cases {
+		_, err := ReadVerilog(strings.NewReader(tc.src), catalog)
+		if err == nil {
+			t.Errorf("accepted %q", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("error %q does not name %s (source %q)", err, tc.wantLine, tc.src)
+		}
+	}
+}
+
 func TestCheckCleanNetlist(t *testing.T) {
 	nl := simpleNetlist(t)
 	if issues := nl.Check(); len(issues) != 0 {

@@ -110,12 +110,17 @@ func (s *Solver) value(l Lit) int8 {
 }
 
 // AddClause adds a clause; it returns false if the formula became trivially
-// unsatisfiable (the solver then answers Unsat from Solve as well). Must be
-// called before Solve (no incremental interface).
+// unsatisfiable (the solver then answers Unsat from Solve as well). It may
+// be called between Solve calls: the solver first backtracks to the root
+// level, and since clauses are only ever added (never removed), incremental
+// strengthening of the formula is sound. This is what the equivalence
+// checker's SAT sweeping relies on to encode AIG cones lazily across many
+// prove/refute queries on one solver.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.rootUnsat {
 		return false
 	}
+	s.cancelUntil(0)
 	// Deduplicate and detect tautology.
 	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
 	out := lits[:0]
