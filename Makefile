@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench cec clean
+.PHONY: build test race vet fmt check bench bench-diff bench-record paperbench cec clean
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race-enabled run of the packages with concurrency (obs registry, charlib
 # worker pool, cec fallback miter workers) plus the rest of the tree.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/charlib/... ./internal/synth/... ./internal/cec/...
+	$(GO) test -race ./internal/obs/... ./internal/charlib/... ./internal/synth/... ./internal/cec/... ./internal/qor/...
 
 # Equivalence-checker suite under the race detector (the parallel fallback
 # miter is the flow's most concurrent code path).
@@ -31,7 +31,29 @@ fmt:
 check: build vet fmt test race
 	@echo "check: OK"
 
+# QoR flight recorder (docs/QOR.md). `make bench` records a fresh smoke run
+# and gates it against the committed baseline; `make bench-record` refreshes
+# the baseline after an intentional QoR change; `make bench-diff` compares
+# the two most recent BENCH_*.json recordings without running the flow.
+BENCH_PROFILE ?= smoke
+BENCH_REPEAT  ?= 2
+
 bench:
+	$(GO) run ./cmd/cryobench -profile $(BENCH_PROFILE) -repeat $(BENCH_REPEAT) \
+		-out build/BENCH_latest.json -baseline bench/baseline-$(BENCH_PROFILE).json
+
+bench-record:
+	$(GO) run ./cmd/cryobench -profile $(BENCH_PROFILE) -repeat $(BENCH_REPEAT) \
+		-out bench/baseline-$(BENCH_PROFILE).json
+
+bench-diff:
+	@set -- $$(ls -t BENCH_*.json build/BENCH_*.json 2>/dev/null | head -2); \
+	if [ $$# -lt 2 ]; then echo "need two BENCH_*.json recordings"; exit 1; fi; \
+	echo "diffing $$2 (base) vs $$1 (current)"; \
+	$(GO) run ./cmd/cryobench -diff "$$2" "$$1"
+
+# Go microbenchmarks (the paper-benchmark target predating cryobench).
+paperbench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
 clean:

@@ -1,0 +1,173 @@
+// Command cryobench is the QoR flight recorder: it runs the full cryo-EDA
+// flow (synthesis -> mapping -> STA -> power, per temperature corner) over a
+// benchmark profile, records quality-of-results and runtime metrics into a
+// versioned JSON baseline, and diffs runs against a stored baseline with
+// noise-aware thresholds.
+//
+// Record a baseline:
+//
+//	cryobench -profile smoke -repeat 3 -out bench/baseline-smoke.json
+//
+// Gate a change against it (exit 1 on QoR regression):
+//
+//	cryobench -profile smoke -baseline bench/baseline-smoke.json
+//
+// Diff two existing recordings without running anything:
+//
+//	cryobench -diff old.json new.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qor"
+	"repro/internal/spice"
+)
+
+var flushObs = func() {}
+
+func main() {
+	profileName := flag.String("profile", "smoke", "benchmark profile: "+strings.Join(qor.ProfileNames(), ", "))
+	repeat := flag.Int("repeat", 0, "repetitions per circuit (0 = profile default)")
+	seed := flag.Int64("seed", 1, "flow seed")
+	clock := flag.String("clock", "1n", "reference clock period for WNS/TNS")
+	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all in profile)")
+	testlibFlag := flag.Bool("testlib", true, "use the synthetic closed-form library (false: SPICE-characterized, cached)")
+	cacheDir := flag.String("cache", "build", "liberty cache directory for characterized corners")
+	out := flag.String("out", "", "output baseline path (default BENCH_<timestamp>.json)")
+	baselinePath := flag.String("baseline", "", "baseline to diff the fresh run against; exit 1 on QoR regression")
+	diffMode := flag.Bool("diff", false, "diff two recorded baselines: cryobench -diff <base.json> <cur.json>")
+	mdPath := flag.String("md", "", "also write the diff report as markdown to this path")
+	strictRuntime := flag.Bool("strict-runtime", false, "runtime/engine regressions also fail the gate")
+	verbose := flag.Bool("v", false, "list unchanged metrics in the diff table")
+	obsFlags := obs.InstallFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: cryobench -diff <base.json> <current.json>")
+			os.Exit(2)
+		}
+		base, err := qor.ReadBaselineFile(flag.Arg(0))
+		exitOn(err)
+		cur, err := qor.ReadBaselineFile(flag.Arg(1))
+		exitOn(err)
+		os.Exit(reportDiff(base, cur, *strictRuntime, *verbose, *mdPath))
+	}
+
+	flush, err := obsFlags.Activate()
+	exitOn(err)
+	flushObs = flush
+	defer flush()
+
+	prof, err := qor.FindProfile(*profileName)
+	exitOn(err)
+	if *circuits != "" {
+		prof.Circuits, err = subset(prof.Circuits, *circuits)
+		exitOn(err)
+	}
+	clockSec, err := spice.ParseValue(*clock)
+	exitOn(err)
+
+	opt := qor.RunOptions{
+		Profile:    prof,
+		Repeat:     *repeat,
+		Seed:       *seed,
+		ClockSec:   clockSec,
+		UseTestlib: *testlibFlag,
+		CacheDir:   *cacheDir,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	t0 := time.Now()
+	b, err := qor.Run(context.Background(), opt)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "recorded %d circuit records in %.1fs\n", len(b.Circuits), time.Since(t0).Seconds())
+
+	outPath := *out
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102T150405Z"))
+	}
+	if dir := filepath.Dir(outPath); dir != "." {
+		exitOn(os.MkdirAll(dir, 0o755))
+	}
+	exitOn(b.WriteFile(outPath))
+	fmt.Fprintf(os.Stderr, "baseline written: %s\n", outPath)
+
+	exitOn(qor.WriteBaselineSummary(os.Stdout, b))
+
+	if *baselinePath == "" {
+		return
+	}
+	base, err := qor.ReadBaselineFile(*baselinePath)
+	exitOn(err)
+	fmt.Println()
+	if code := reportDiff(base, b, *strictRuntime, *verbose, *mdPath); code != 0 {
+		flushObs()
+		os.Exit(code)
+	}
+}
+
+// reportDiff renders the diff to stdout (and optionally markdown) and
+// returns the process exit code the gate demands.
+func reportDiff(base, cur *qor.Baseline, strictRuntime, verbose bool, mdPath string) int {
+	rep := qor.Diff(base, cur, qor.DefaultThresholds())
+	if err := rep.WriteTable(os.Stdout, verbose); err != nil {
+		exitOn(err)
+	}
+	if mdPath != "" {
+		f, err := os.Create(mdPath)
+		exitOn(err)
+		err = rep.WriteMarkdown(f)
+		f.Close()
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "markdown report written: %s\n", mdPath)
+	}
+	if rep.Failed(strictRuntime) {
+		fmt.Fprintln(os.Stderr, "FAIL: QoR regression gate")
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "PASS: no QoR regressions")
+	return 0
+}
+
+// subset filters the profile circuit list down to a comma-separated request,
+// rejecting names the profile does not contain.
+func subset(all []string, req string) ([]string, error) {
+	have := map[string]bool{}
+	for _, c := range all {
+		have[c] = true
+	}
+	var out []string
+	for _, c := range strings.Split(req, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !have[c] {
+			return nil, fmt.Errorf("circuit %q not in profile (have: %s)", c, strings.Join(all, ", "))
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -circuits selection")
+	}
+	return out, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		flushObs()
+		fmt.Fprintln(os.Stderr, "cryobench:", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/spice"
@@ -21,10 +22,11 @@ func main() {
 	temp := flag.Float64("temp", 300, "simulation temperature in kelvin (.temp overrides)")
 	nodes := flag.String("nodes", "", "comma-separated node names to print (default: all)")
 	points := flag.Int("points", 20, "transient waveform rows to print")
+	vcdPath := flag.String("vcd", "", "dump the transient waveform to this VCD file")
 	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cryospice [-temp K] [-nodes a,b] <deck.sp>")
+		fmt.Fprintln(os.Stderr, "usage: cryospice [-temp K] [-nodes a,b] [-vcd out.vcd] <deck.sp>")
 		os.Exit(2)
 	}
 	flush, err := obsFlags.Activate()
@@ -72,12 +74,34 @@ func main() {
 	}
 
 	if !res.HasTran {
+		if *vcdPath != "" {
+			fatal(fmt.Errorf("-vcd needs a .tran card in the deck"))
+		}
 		return
 	}
 	fmt.Printf("\ntransient: tstop=%g s, tstep=%g s\n", res.Tstop, res.Tstep)
 	wf, err := c.Transient(res.Tstop, res.Tstep)
 	if err != nil {
 		fatal(err)
+	}
+	if *vcdPath != "" {
+		vf, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		// -nodes also selects the dumped signals; default dumps everything.
+		var sel []string
+		if *nodes != "" {
+			sel = wanted
+		}
+		err = wf.WriteVCD(vf, time.Now().UTC().Format(time.RFC3339), sel)
+		if cerr := vf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nVCD waveform written: %s (%d samples)\n", *vcdPath, len(wf.Time))
 	}
 	stride := len(wf.Time) / *points
 	if stride < 1 {

@@ -28,10 +28,11 @@ func main() {
 	libPath := flag.String("lib", "", "liberty library (.lib)")
 	clock := flag.String("clock", "", "target clock period (e.g. 500ps, 1n); default 1.2x critical delay")
 	topN := flag.Int("top", 5, "power consumers to list")
+	pathsK := flag.Int("paths", 0, "report the K worst endpoint paths with per-arc delay/slew breakdown")
 	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
 	if *libPath == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cryosta -lib <lib.lib> [-clock 1n] [-top N] <netlist.v>")
+		fmt.Fprintln(os.Stderr, "usage: cryosta -lib <lib.lib> [-clock 1n] [-top N] [-paths K] <netlist.v>")
 		os.Exit(2)
 	}
 	flush, err := obsFlags.Activate()
@@ -81,6 +82,11 @@ func main() {
 		fmt.Printf("  (TIMING VIOLATED on %d nets)", viol)
 	}
 	fmt.Println()
+
+	if *pathsK > 0 {
+		fmt.Printf("\ntop %d paths:\n", *pathsK)
+		exitOn(sta.WritePathReport(os.Stdout, timing.TopPaths(*pathsK, period)))
+	}
 
 	rep, err := power.Analyze(ctx, nl, lib, power.Options{ClockPeriod: period})
 	exitOn(err)

@@ -88,8 +88,18 @@ func main() {
 		check(err)
 	}
 
+	var verdicts []verifyRecord
 	if *verify {
-		if !runVerify(ctx, names, ml10, *seed) {
+		ok, recs := runVerify(ctx, names, ml10, *seed)
+		verdicts = recs
+		if !ok {
+			// Still record the verdicts when a report was requested: the
+			// failing report is the artifact a CI triage wants.
+			if *report != "" {
+				if err := writeRunReport(ctx, *report, names, ml300, ml10, lib300, lib10, *seed, start, verdicts); err != nil {
+					fmt.Fprintln(os.Stderr, "cryosynth: report:", err)
+				}
+			}
 			check(fmt.Errorf("verification FAILED (see table above)"))
 		}
 	}
@@ -103,7 +113,7 @@ func main() {
 		runTopConsumers(ctx, names, ml10, lib10, *seed, *top)
 	}
 	if *report != "" {
-		check(writeRunReport(ctx, *report, names, ml300, ml10, lib300, lib10, *seed, start))
+		check(writeRunReport(ctx, *report, names, ml300, ml10, lib300, lib10, *seed, start, verdicts))
 		fmt.Printf("run report written to %s\n", *report)
 	}
 	root.End()
@@ -188,15 +198,28 @@ func runFig3(ctx context.Context, names []string, ml *mapper.MatchLibrary, lib *
 	}
 }
 
+// verifyRecord is one (circuit, scenario) row of the -verify signoff gate,
+// embedded verbatim in the -report JSON so CI artifacts carry the formal
+// verdicts alongside the QoR numbers.
+type verifyRecord struct {
+	Circuit    string `json:"circuit"`
+	Scenario   string `json:"scenario"`
+	PrePost    string `json:"pre_post"`
+	PostMapped string `json:"post_mapped"`
+	OK         bool   `json:"ok"`
+}
+
 // runVerify is the formal signoff gate (-verify): for every circuit and
 // every scenario it proves pre-opt ≡ post-opt and post-opt ≡ mapped netlist
 // with the SAT-sweeping equivalence engine, printing one PASS/FAIL row per
-// (circuit, scenario) pair. Returns false if any check is not EQUAL.
-func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, seed int64) bool {
+// (circuit, scenario) pair. Returns false if any check is not EQUAL, plus
+// the per-pair verdict records.
+func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, seed int64) (bool, []verifyRecord) {
 	fmt.Println("\n=== formal equivalence signoff (pre-opt ≡ post-opt ≡ mapped) ===")
 	fmt.Printf("%-12s %-10s %10s %12s | %s\n", "circuit", "scenario", "pre≡post", "post≡mapped", "result")
 	scenarios := []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA}
 	ok := true
+	var records []verifyRecord
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		check(err)
@@ -210,6 +233,13 @@ func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, see
 				result = "FAIL"
 				ok = false
 			}
+			records = append(records, verifyRecord{
+				Circuit:    name,
+				Scenario:   sc.String(),
+				PrePost:    rep.PrePost.Status.String(),
+				PostMapped: rep.PostMapped.Status.String(),
+				OK:         rep.OK(),
+			})
 			fmt.Printf("%-12s %-10s %10s %12s | %s\n",
 				name, sc, rep.PrePost.Status, rep.PostMapped.Status, result)
 			for _, v := range []*cec.Verdict{rep.PrePost, rep.PostMapped} {
@@ -230,7 +260,7 @@ func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, see
 	if ok {
 		fmt.Println("signoff: all scenarios formally verified")
 	}
-	return ok
+	return ok, records
 }
 
 // runBreakdown reproduces Fig 2(c): the average leakage/internal/switching
@@ -304,6 +334,8 @@ type runReport struct {
 	WallSeconds float64         `json:"wall_seconds"`
 	Circuits    []circuitReport `json:"circuits"`
 	Stages      []stageReport   `json:"stages"`
+	// Verify carries the -verify signoff verdicts when both flags are given.
+	Verify []verifyRecord `json:"verify,omitempty"`
 }
 
 // writeRunReport synthesizes each circuit under the baseline scenario at
@@ -311,9 +343,10 @@ type runReport struct {
 // wall time (from the span tracer), peak AIG size, mapper cost, and worst
 // negative slack at 300 K and 10 K.
 func writeRunReport(ctx context.Context, path string, names []string,
-	ml300, ml10 *mapper.MatchLibrary, lib300, lib10 *liberty.Library, seed int64, start time.Time) error {
+	ml300, ml10 *mapper.MatchLibrary, lib300, lib10 *liberty.Library, seed int64, start time.Time,
+	verdicts []verifyRecord) error {
 	const clock = 1e-9
-	rep := runReport{Tool: "cryosynth", ClockSec: clock, Seed: seed}
+	rep := runReport{Tool: "cryosynth", ClockSec: clock, Seed: seed, Verify: verdicts}
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		if err != nil {

@@ -394,7 +394,10 @@ func extract(g *aig.AIG, ml *MatchLibrary, best []implChoice, opt Options) (*net
 
 // constCell finds a combinational match cell whose output is the requested
 // constant when all inputs are tied together (rows 00..0 and 11..1 equal).
+// Candidates are ranked by area then name: map iteration order must never
+// leak into the chosen cover (the QoR flight recorder diffs runs exactly).
 func constCell(ml *MatchLibrary, want bool) *Match {
+	var best *Match
 	for _, byTT := range ml.byCanon {
 		for _, ms := range byTT {
 			for _, m := range ms {
@@ -405,11 +408,15 @@ func constCell(ml *MatchLibrary, want bool) *Match {
 				n := len(m.Cell.Inputs)
 				lo := tt&1 != 0
 				hi := tt&(1<<uint(1<<uint(n)-1)) != 0
-				if lo == hi && lo == want {
-					return m
+				if lo != hi || lo != want {
+					continue
+				}
+				if best == nil || m.Area < best.Area ||
+					(m.Area == best.Area && m.Lib.Name < best.Lib.Name) {
+					best = m
 				}
 			}
 		}
 	}
-	return nil
+	return best
 }

@@ -6,16 +6,16 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 )
 
 // Flags carries the standard observability CLI flags shared by every
-// binary in the flow: -metrics, -trace, -pprof, and -loglevel.
+// binary in the flow: -metrics, -trace, -pprof, -obs-addr, and -loglevel.
 type Flags struct {
 	MetricsPath string
 	TracePath   string
 	PprofAddr   string
+	ObsAddr     string
 	LogLevel    string
 }
 
@@ -26,6 +26,7 @@ func InstallFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsPath, "metrics", "", "write a metrics dump to this file on exit ('-' for stderr)")
 	fs.StringVar(&f.TracePath, "trace", "", "write Chrome trace_event JSON (chrome://tracing, Perfetto) to this file on exit")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve live metrics (Prometheus /metrics, /spans, pprof) on this address; implies metrics+tracing")
 	fs.StringVar(&f.LogLevel, "loglevel", "", "diagnostic log level: debug|info|warn|error (default warn)")
 	return f
 }
@@ -50,6 +51,11 @@ func (f *Flags) Activate() (flush func(), err error) {
 	}
 	if f.PprofAddr != "" {
 		if err := servePprof(f.PprofAddr); err != nil {
+			return nil, err
+		}
+	}
+	if f.ObsAddr != "" {
+		if err := serveObs(f.ObsAddr); err != nil {
 			return nil, err
 		}
 	}
@@ -93,11 +99,7 @@ func writeFileWith(path string, write func(w io.Writer) error) error {
 // http.DefaultServeMux) and serves them in the background.
 func servePprof(addr string) error {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	registerPprof(mux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("obs: pprof listen on %s: %w", addr, err)

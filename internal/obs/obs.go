@@ -75,5 +75,14 @@ func EnableTracing() *Tracer {
 // no-ops.
 func DisableTracing() { globalTracer.Store(nil) }
 
+// ResetTracing unconditionally installs a fresh tracer (unlike
+// EnableTracing, which keeps an existing one) and returns it. Benchmark
+// harnesses use it to collect a clean span forest per repetition.
+func ResetTracing() *Tracer {
+	t := NewTracer()
+	globalTracer.Store(t)
+	return t
+}
+
 // Tracing returns the global tracer, or nil when tracing is disabled.
 func Tracing() *Tracer { return globalTracer.Load() }

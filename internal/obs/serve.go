@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// registerPprof mounts the net/http/pprof handlers on mux (shared by the
+// -pprof listener and the -obs-addr endpoint).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// obsMux builds the -obs-addr handler: Prometheus metrics, the plain-text
+// metric dump, a JSON registry snapshot, a live span summary, and pprof.
+// Handlers read the global registry/tracer at request time, so they follow
+// the run as it progresses.
+func obsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := Metrics().WritePrometheus(w); err != nil {
+			Log().Errorf("obs: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := Metrics().WriteText(w); err != nil {
+			Log().Errorf("obs: /metrics.txt: %v", err)
+		}
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := Metrics().Snapshot().WriteJSON(w); err != nil {
+			Log().Errorf("obs: /snapshot.json: %v", err)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := Tracing().WriteSummary(w); err != nil {
+			Log().Errorf("obs: /spans: %v", err)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "cryo-EDA observability endpoint")
+		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
+		fmt.Fprintln(w, "  /metrics.txt    sorted plain-text metric dump")
+		fmt.Fprintln(w, "  /snapshot.json  registry snapshot (obs.ReadSnapshot format)")
+		fmt.Fprintln(w, "  /spans          live span-tree summary")
+		fmt.Fprintln(w, "  /debug/pprof/   net/http/pprof")
+	})
+	registerPprof(mux)
+	return mux
+}
+
+// serveObs enables metrics and tracing (the endpoint is useless without
+// them) and serves the observability mux on addr in the background.
+func serveObs(addr string) error {
+	EnableMetrics()
+	EnableTracing()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: exposition listen on %s: %w", addr, err)
+	}
+	Log().Infof("obs: metrics exposition on http://%s/metrics", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, obsMux()); err != nil {
+			Log().Errorf("obs: exposition server: %v", err)
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// HistogramSnapshot is the serializable state of one Histogram. Buckets is
+// sparse (log-bucket index -> count), so small histograms stay small on
+// disk; min/max are omitted from JSON when the histogram is empty (the
+// in-memory sentinels are ±Inf, which JSON cannot carry).
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min,omitempty"`
+	Max     float64       `json:"max,omitempty"`
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Registry, suitable for JSON
+// persistence, cross-run diffing, and restoring into a fresh registry.
+// Tools that want to ingest another run's engine counters (cryobench, say)
+// read the JSON back with ReadSnapshot and either Diff or Restore it.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value. A nil registry yields an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		if hs.Count > 0 {
+			hs.Min, hs.Max = h.Min(), h.Max()
+			hs.Buckets = map[int]int64{}
+			for i := range h.buckets {
+				if c := h.buckets[i].Load(); c != 0 {
+					hs.Buckets[i] = c
+				}
+			}
+		}
+		s.Histograms[k.(string)] = hs
+		return true
+	})
+	return s
+}
+
+// Restore loads a snapshot into the registry, overwriting any metric the
+// snapshot names (metrics absent from the snapshot are left alone). The
+// histogram restore is exact: bucket contents, count, sum, min, and max all
+// round-trip. A nil registry ignores the call.
+func (r *Registry) Restore(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		c := r.Counter(name)
+		c.v.Store(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name)
+		h.count.Store(hs.Count)
+		h.sumBits.Store(math.Float64bits(hs.Sum))
+		if hs.Count > 0 {
+			h.minBits.Store(math.Float64bits(hs.Min))
+			h.maxBits.Store(math.Float64bits(hs.Max))
+		} else {
+			h.minBits.Store(math.Float64bits(math.Inf(1)))
+			h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+		}
+		for i := range h.buckets {
+			h.buckets[i].Store(hs.Buckets[i])
+		}
+	}
+}
+
+// Diff returns the change from prev to s: counters and histogram
+// counts/sums/buckets are subtracted, gauges keep s's (latest) value.
+// Metrics that only exist in prev are dropped; metrics new in s keep their
+// full value. Min/max of differenced histograms are taken from s, the best
+// available bound.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	out := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, hs := range s.Histograms {
+		ps := prev.Histograms[name]
+		d := HistogramSnapshot{Count: hs.Count - ps.Count, Sum: hs.Sum - ps.Sum}
+		if d.Count > 0 {
+			d.Min, d.Max = hs.Min, hs.Max
+			d.Buckets = map[int]int64{}
+			for i, c := range hs.Buckets {
+				if dc := c - ps.Buckets[i]; dc != 0 {
+					d.Buckets[i] = dc
+				}
+			}
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot previously written with WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := json.NewDecoder(r).Decode(s); err != nil {
+		return nil, fmt.Errorf("obs: parsing snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.hits").Add(42)
+	r.Counter("a.misses").Add(7)
+	r.Gauge("b.level").Set(3.25)
+	h := r.Histogram("c.seconds")
+	for _, v := range []float64{0.001, 0.002, 0.004, 1.5} {
+		h.Observe(v)
+	}
+
+	snap := r.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	r2 := NewRegistry()
+	r2.Restore(back)
+	if got := r2.Counter("a.hits").Value(); got != 42 {
+		t.Errorf("restored counter a.hits = %d, want 42", got)
+	}
+	if got := r2.Gauge("b.level").Value(); got != 3.25 {
+		t.Errorf("restored gauge = %g, want 3.25", got)
+	}
+	h2 := r2.Histogram("c.seconds")
+	if h2.Count() != 4 || h2.Min() != 0.001 || h2.Max() != 1.5 {
+		t.Errorf("restored hist count=%d min=%g max=%g", h2.Count(), h2.Min(), h2.Max())
+	}
+	if math.Abs(h2.Sum()-h.Sum()) > 1e-15 {
+		t.Errorf("restored hist sum=%g want %g", h2.Sum(), h.Sum())
+	}
+	// The bucketed quantile estimate must survive the round trip exactly.
+	if q, q2 := h.Quantile(0.5), h2.Quantile(0.5); q != q2 {
+		t.Errorf("restored p50 %g != original %g", q2, q)
+	}
+}
+
+func TestSnapshotRoundTripEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty.seconds")
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	r2 := NewRegistry()
+	r2.Restore(back)
+	h := r2.Histogram("empty.seconds")
+	if h.Count() != 0 || !math.IsInf(h.Min(), 1) || !math.IsInf(h.Max(), -1) {
+		t.Errorf("empty hist after restore: count=%d min=%g max=%g", h.Count(), h.Min(), h.Max())
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Add(10)
+	r.Histogram("t").Observe(1.0)
+	before := r.Snapshot()
+
+	r.Counter("n").Add(5)
+	r.Counter("fresh").Add(3)
+	r.Gauge("g").Set(9)
+	r.Histogram("t").Observe(2.0)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if d.Counters["n"] != 5 {
+		t.Errorf("diff counter n = %d, want 5", d.Counters["n"])
+	}
+	if d.Counters["fresh"] != 3 {
+		t.Errorf("diff counter fresh = %d, want 3", d.Counters["fresh"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("diff gauge g = %g, want 9", d.Gauges["g"])
+	}
+	ht := d.Histograms["t"]
+	if ht.Count != 1 || math.Abs(ht.Sum-2.0) > 1e-12 {
+		t.Errorf("diff hist t count=%d sum=%g, want 1/2.0", ht.Count, ht.Sum)
+	}
+	var total int64
+	for _, c := range ht.Buckets {
+		total += c
+	}
+	if total != 1 {
+		t.Errorf("diff hist bucket mass = %d, want 1", total)
+	}
+}
+
+func TestNilRegistrySnapshot(t *testing.T) {
+	var r *Registry
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Errorf("nil registry snapshot has counters: %v", snap.Counters)
+	}
+	r.Restore(snap) // must not panic
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on empty snapshot: %v", err)
+	}
+	if !strings.Contains(buf.String(), "{") {
+		t.Errorf("expected JSON object, got %q", buf.String())
+	}
+}

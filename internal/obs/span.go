@@ -72,6 +72,13 @@ func FromContext(ctx context.Context) *Span {
 	return s
 }
 
+// Detach returns a context that no longer carries a span, so subsequent
+// Start calls open fresh root spans. Harnesses that swap the tracer between
+// repetitions (cryobench) use it to keep new spans out of stale parents.
+func Detach(ctx context.Context) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, (*Span)(nil))
+}
+
 // End closes the span, recording its wall time. Ending twice keeps the
 // first duration.
 func (s *Span) End() {

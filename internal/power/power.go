@@ -7,6 +7,7 @@ package power
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
@@ -99,12 +100,20 @@ func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt
 		}
 	}
 	// Net switching power: alpha * f * 1/2 * C * Vdd^2 over driven nets.
-	for net, load := range timing.Load {
+	// Nets are visited in sorted order so the floating-point sum is
+	// bit-reproducible run to run (map order would perturb the last ULP,
+	// which the QoR regression gate compares exactly).
+	nets := make([]string, 0, len(timing.Load))
+	for net := range timing.Load {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
 		alpha := rates[net]
 		if alpha == 0 {
 			continue
 		}
-		rep.Switching += alpha * freq * 0.5 * load * vdd * vdd
+		rep.Switching += alpha * freq * 0.5 * timing.Load[net] * vdd * vdd
 	}
 	return rep, nil
 }

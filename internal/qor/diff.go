@@ -1,0 +1,310 @@
+package qor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thresholds tunes the noise-aware comparison.
+type Thresholds struct {
+	// QoRRelEps is the relative epsilon for floating-point QoR fields
+	// (the flow is deterministic, so this only absorbs representation
+	// noise; integers are compared exactly).
+	QoRRelEps float64
+	// RuntimeFrac is the relative tolerance on runtime/engine medians: a
+	// sample is only suspect beyond base*(1±RuntimeFrac).
+	RuntimeFrac float64
+	// IQRMult: on top of the relative band, the shift must also exceed
+	// IQRMult * max(base IQR, cur IQR) — the noise-awareness proper.
+	IQRMult float64
+	// MinSeconds ignores runtime stages whose base and current medians
+	// are both below this floor (too fast to measure honestly).
+	MinSeconds float64
+	// MinCount ignores engine counters whose base and current medians are
+	// both below this floor.
+	MinCount float64
+}
+
+// DefaultThresholds are the cryobench defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		QoRRelEps:   1e-9,
+		RuntimeFrac: 0.30,
+		IQRMult:     3.0,
+		MinSeconds:  5e-3,
+		MinCount:    64,
+	}
+}
+
+// Verdict classifies one compared metric.
+type Verdict int
+
+// Verdicts, ordered from good to bad.
+const (
+	OK Verdict = iota
+	Improved
+	New     // metric only in the current run
+	Missing // metric only in the baseline
+	Regressed
+)
+
+// String renders the verdict for tables.
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Improved:
+		return "improved"
+	case New:
+		return "new"
+	case Missing:
+		return "missing"
+	case Regressed:
+		return "REGRESSED"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Kind separates the hard QoR gate from the soft runtime/engine watch.
+type Kind string
+
+// Metric kinds.
+const (
+	KindQoR     Kind = "qor"
+	KindRuntime Kind = "runtime"
+	KindEngine  Kind = "engine"
+)
+
+// Entry is one row of a diff report.
+type Entry struct {
+	Key     string // e.g. "ctrl/p->d->a @10K"
+	Metric  string // e.g. "wns_seconds"
+	Kind    Kind
+	Base    float64
+	Cur     float64
+	Verdict Verdict
+	Note    string
+}
+
+// Delta returns cur-base.
+func (e *Entry) Delta() float64 { return e.Cur - e.Base }
+
+// RelDelta returns the relative change against the baseline magnitude
+// (0 when the base is zero).
+func (e *Entry) RelDelta() float64 {
+	if e.Base == 0 {
+		return 0
+	}
+	return (e.Cur - e.Base) / math.Abs(e.Base)
+}
+
+// Report is the outcome of diffing a run against a baseline.
+type Report struct {
+	BaseLabel, CurLabel string
+	Entries             []Entry
+	QoRRegressions      int
+	RuntimeRegressions  int
+	NonDeterministic    []string // circuit keys whose repetitions disagreed
+}
+
+// Failed reports whether the diff should gate a merge: any QoR regression
+// (or nondeterminism) fails; runtime regressions fail only when
+// strictRuntime is set.
+func (r *Report) Failed(strictRuntime bool) bool {
+	if r.QoRRegressions > 0 || len(r.NonDeterministic) > 0 {
+		return true
+	}
+	return strictRuntime && r.RuntimeRegressions > 0
+}
+
+// qorMetric describes one exactly-compared QoR field: how to read it and
+// which direction is worse.
+type qorMetric struct {
+	name       string
+	get        func(*Corner) float64
+	higherBad  bool
+	integerish bool
+}
+
+var cornerMetrics = []qorMetric{
+	{"gates", func(c *Corner) float64 { return float64(c.Gates) }, true, true},
+	{"area", func(c *Corner) float64 { return c.Area }, true, false},
+	{"critical_delay_seconds", func(c *Corner) float64 { return c.CriticalSec }, true, false},
+	{"wns_seconds", func(c *Corner) float64 { return c.WNSSec }, false, false},
+	{"tns_seconds", func(c *Corner) float64 { return c.TNSSec }, false, false},
+	{"leakage_w", func(c *Corner) float64 { return c.LeakageW }, true, false},
+	{"dynamic_w", func(c *Corner) float64 { return c.DynamicW }, true, false},
+	{"total_w", func(c *Corner) float64 { return c.TotalW }, true, false},
+}
+
+// Diff compares cur against base. QoR fields are compared exactly (per
+// QoRRelEps); stage wall times and engine counters via the median/IQR rule.
+func Diff(base, cur *Baseline, th Thresholds) *Report {
+	r := &Report{
+		BaseLabel: label(base),
+		CurLabel:  label(cur),
+	}
+	baseByKey := map[string]*Circuit{}
+	for i := range base.Circuits {
+		baseByKey[base.Circuits[i].key()] = &base.Circuits[i]
+	}
+	seen := map[string]bool{}
+	for i := range cur.Circuits {
+		cc := &cur.Circuits[i]
+		if !cc.Deterministic {
+			r.NonDeterministic = append(r.NonDeterministic, cc.key())
+		}
+		bc, ok := baseByKey[cc.key()]
+		if !ok {
+			r.Entries = append(r.Entries, Entry{
+				Key: cc.key(), Metric: "circuit", Kind: KindQoR, Verdict: New,
+				Note: "not in baseline",
+			})
+			continue
+		}
+		seen[cc.key()] = true
+		diffCircuit(r, bc, cc, th)
+	}
+	for i := range base.Circuits {
+		if !seen[base.Circuits[i].key()] {
+			r.Entries = append(r.Entries, Entry{
+				Key: base.Circuits[i].key(), Metric: "circuit", Kind: KindQoR,
+				Verdict: Missing, Note: "dropped from run",
+			})
+			r.QoRRegressions++ // losing coverage is a hard failure
+		}
+	}
+	diffEngine(r, base.Engine, cur.Engine, th)
+	return r
+}
+
+func label(b *Baseline) string {
+	s := b.Tool + ":" + b.Profile
+	if b.CreatedAt != "" {
+		s += "@" + b.CreatedAt
+	}
+	return s
+}
+
+func diffCircuit(r *Report, base, cur *Circuit, th Thresholds) {
+	key := cur.key()
+	// AIG trajectory: exact integers.
+	for _, m := range []struct {
+		name      string
+		base, cur int
+		higherBad bool
+	}{
+		{"aig_nodes_opt", base.AIGNodesOpt, cur.AIGNodesOpt, true},
+		{"aig_depth_opt", base.AIGDepthOpt, cur.AIGDepthOpt, true},
+	} {
+		e := Entry{Key: key, Metric: m.name, Kind: KindQoR,
+			Base: float64(m.base), Cur: float64(m.cur), Verdict: OK}
+		if m.cur != m.base {
+			if (m.cur > m.base) == m.higherBad {
+				e.Verdict = Regressed
+				r.QoRRegressions++
+			} else {
+				e.Verdict = Improved
+			}
+		}
+		r.Entries = append(r.Entries, e)
+	}
+	// Corners matched by temperature.
+	baseCorner := map[float64]*Corner{}
+	for i := range base.Corners {
+		baseCorner[base.Corners[i].TempK] = &base.Corners[i]
+	}
+	for i := range cur.Corners {
+		cc := &cur.Corners[i]
+		ckey := fmt.Sprintf("%s @%gK", key, cc.TempK)
+		bc, ok := baseCorner[cc.TempK]
+		if !ok {
+			r.Entries = append(r.Entries, Entry{Key: ckey, Metric: "corner",
+				Kind: KindQoR, Verdict: New, Note: "corner not in baseline"})
+			continue
+		}
+		for _, m := range cornerMetrics {
+			bv, cv := m.get(bc), m.get(cc)
+			e := Entry{Key: ckey, Metric: m.name, Kind: KindQoR, Base: bv, Cur: cv, Verdict: OK}
+			if !qorEqual(bv, cv, th.QoRRelEps, m.integerish) {
+				if (cv > bv) == m.higherBad {
+					e.Verdict = Regressed
+					r.QoRRegressions++
+				} else {
+					e.Verdict = Improved
+				}
+			}
+			r.Entries = append(r.Entries, e)
+		}
+	}
+	// Stage wall times: noise-aware, lower is better.
+	for stage, cs := range cur.StageSeconds {
+		bs, ok := base.StageSeconds[stage]
+		if !ok {
+			continue
+		}
+		if bs.Median < th.MinSeconds && cs.Median < th.MinSeconds {
+			continue
+		}
+		e := Entry{Key: key, Metric: "stage:" + stage, Kind: KindRuntime,
+			Base: bs.Median, Cur: cs.Median, Verdict: noisyVerdict(bs, cs, th)}
+		if e.Verdict == Regressed {
+			r.RuntimeRegressions++
+			e.Note = noiseNote(bs, cs)
+		}
+		r.Entries = append(r.Entries, e)
+	}
+}
+
+func diffEngine(r *Report, base, cur map[string]Stat, th Thresholds) {
+	for name, cs := range cur {
+		bs, ok := base[name]
+		if !ok {
+			continue
+		}
+		if bs.Median < th.MinCount && cs.Median < th.MinCount {
+			continue
+		}
+		e := Entry{Key: "engine", Metric: name, Kind: KindEngine,
+			Base: bs.Median, Cur: cs.Median, Verdict: noisyVerdict(bs, cs, th)}
+		if e.Verdict == Regressed {
+			r.RuntimeRegressions++
+			e.Note = noiseNote(bs, cs)
+		}
+		r.Entries = append(r.Entries, e)
+	}
+}
+
+// qorEqual is the "exact" QoR comparison: integers bit-exact, floats
+// within a tiny relative epsilon.
+func qorEqual(a, b, relEps float64, integerish bool) bool {
+	if integerish {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= relEps*scale
+}
+
+// noisyVerdict applies the median/IQR rule: the median shift must exceed
+// BOTH the relative band and IQRMult spreads of the noisier run to count.
+func noisyVerdict(base, cur Stat, th Thresholds) Verdict {
+	shift := cur.Median - base.Median
+	relBand := th.RuntimeFrac * math.Abs(base.Median)
+	noiseBand := th.IQRMult * math.Max(base.IQR, cur.IQR)
+	if math.Abs(shift) <= math.Max(relBand, 1e-300) || math.Abs(shift) <= noiseBand {
+		return OK
+	}
+	if shift > 0 {
+		return Regressed
+	}
+	return Improved
+}
+
+func noiseNote(base, cur Stat) string {
+	return fmt.Sprintf("median %.4g -> %.4g (IQR %.2g/%.2g, n=%d)",
+		base.Median, cur.Median, base.IQR, cur.IQR, cur.N)
+}

@@ -1,0 +1,125 @@
+package qor
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the qor golden baseline file")
+
+// goldenBaseline is a fully-populated fixed record: every schema field is
+// exercised so any shape change (rename, addition, removal, unit change)
+// alters the serialized bytes and trips the comparison below.
+func goldenBaseline() *Baseline {
+	return &Baseline{
+		SchemaVersion: SchemaVersion,
+		Tool:          "cryobench",
+		Profile:       "smoke",
+		Repeat:        2,
+		Seed:          1,
+		ClockSec:      1e-9,
+		Testlib:       true,
+		CreatedAt:     "2026-08-06T00:00:00Z",
+		GoOSArch:      "linux/amd64",
+		Circuits: []Circuit{{
+			Name:          "ctrl",
+			Scenario:      "baseline",
+			AIGNodesIn:    123,
+			AIGNodesOpt:   96,
+			AIGDepthOpt:   9,
+			Deterministic: true,
+			Corners: []Corner{{
+				TempK:       300,
+				Gates:       41,
+				Area:        82.5,
+				CriticalSec: 3.25e-10,
+				WNSSec:      6.75e-10,
+				TNSSec:      0,
+				LeakageW:    1.5e-8,
+				DynamicW:    2.5e-6,
+				TotalW:      2.515e-6,
+			}, {
+				TempK:       10,
+				Gates:       41,
+				Area:        82.5,
+				CriticalSec: 2.75e-10,
+				WNSSec:      7.25e-10,
+				TNSSec:      -1.25e-12,
+				LeakageW:    1.5e-12,
+				DynamicW:    2.25e-6,
+				TotalW:      2.25e-6,
+			}},
+			StageSeconds: map[string]Stat{
+				"synth.synthesize": {N: 2, Median: 0.5, IQR: 0.02, Min: 0.49, Max: 0.51},
+				"sta.analyze":      {N: 2, Median: 0.01, IQR: 0.001, Min: 0.0095, Max: 0.0105},
+				"rep.wall":         {N: 2, Median: 0.75, IQR: 0.03, Min: 0.735, Max: 0.765},
+			},
+		}},
+		Engine: map[string]Stat{
+			"sat.conflicts":           {N: 2, Median: 1024, IQR: 0, Min: 1024, Max: 1024},
+			"spice.newton.iterations": {N: 2, Median: 0, IQR: 0, Min: 0, Max: 0},
+			"mapper.gates_emitted":    {N: 2, Median: 82, IQR: 0, Min: 82, Max: 82},
+			"charlib.cache.hits":      {N: 2, Median: 0, IQR: 0, Min: 0, Max: 0},
+		},
+	}
+}
+
+// TestGoldenBaselineSchema pins the serialized baseline format byte for
+// byte. If this test fails you changed the schema: bump SchemaVersion,
+// re-record committed baselines, and regenerate the golden file with
+//
+//	go test ./internal/qor -run Golden -update-golden
+func TestGoldenBaselineSchema(t *testing.T) {
+	path := filepath.Join("testdata", "golden_baseline.json")
+	var buf bytes.Buffer
+	if err := goldenBaseline().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("baseline JSON schema drifted from golden file.\n"+
+			"If intentional: bump qor.SchemaVersion, regenerate committed baselines,\n"+
+			"and run `go test ./internal/qor -run Golden -update-golden`.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), string(want))
+	}
+
+	// The golden file itself must load cleanly through the versioned reader.
+	if _, err := ReadBaselineFile(path); err != nil {
+		t.Fatalf("golden file does not load: %v", err)
+	}
+}
+
+// TestSchemaVersionMismatchFailsLoudly: a bumped (or ancient) version must
+// refuse to load with an error naming both versions.
+func TestSchemaVersionMismatchFailsLoudly(t *testing.T) {
+	b := goldenBaseline()
+	b.SchemaVersion = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBaseline(&buf)
+	if err == nil {
+		t.Fatal("version-bumped baseline loaded silently")
+	}
+	if !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("error does not explain the version mismatch: %v", err)
+	}
+}

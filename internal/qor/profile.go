@@ -1,0 +1,84 @@
+package qor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/epfl"
+	"repro/internal/synth"
+)
+
+// Profile names a benchmark subset plus the scenarios and temperature
+// corners to sweep. Profiles bound cryobench's runtime: smoke is the CI
+// gate, full is the paper's whole suite.
+type Profile struct {
+	Name      string
+	Circuits  []string
+	Scenarios []synth.Scenario
+	Corners   []float64 // temperatures in kelvin
+	Repeat    int       // default repetition count
+}
+
+// builtin profiles, cheapest first.
+var profiles = []Profile{
+	{
+		Name:      "smoke",
+		Circuits:  []string{"ctrl", "dec", "int2float"},
+		Scenarios: []synth.Scenario{synth.BaselinePowerAware, synth.CryoPDA},
+		Corners:   []float64{300, 10},
+		Repeat:    2,
+	},
+	{
+		Name:      "control",
+		Circuits:  epflClass(epfl.Control),
+		Scenarios: []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA},
+		Corners:   []float64{300, 10},
+		Repeat:    3,
+	},
+	{
+		Name:      "arith",
+		Circuits:  epflClass(epfl.Arithmetic),
+		Scenarios: []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA},
+		Corners:   []float64{300, 10},
+		Repeat:    3,
+	},
+	{
+		Name:      "full",
+		Circuits:  epfl.Names(),
+		Scenarios: []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA},
+		Corners:   []float64{300, 10},
+		Repeat:    3,
+	},
+}
+
+func epflClass(class epfl.Class) []string {
+	var out []string
+	for _, g := range epfl.Suite() {
+		if g.Class == class {
+			out = append(out, g.Name)
+		}
+	}
+	return out
+}
+
+// ProfileNames lists the built-in profile names.
+func ProfileNames() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindProfile resolves a profile by name.
+func FindProfile(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("qor: unknown profile %q (have %s)",
+		name, strings.Join(ProfileNames(), ", "))
+}

@@ -1,0 +1,254 @@
+package qor
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestNewStat(t *testing.T) {
+	s := NewStat([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("stat basics wrong: %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("median = %g, want 2.5", s.Median)
+	}
+	// q25 = 1.75, q75 = 3.25 with linear interpolation.
+	if math.Abs(s.IQR-1.5) > 1e-12 {
+		t.Errorf("IQR = %g, want 1.5", s.IQR)
+	}
+	if z := NewStat(nil); z.N != 0 {
+		t.Errorf("empty stat: %+v", z)
+	}
+}
+
+// twoBaselines builds a matched (base, cur) pair for diff tests.
+func twoBaselines() (*Baseline, *Baseline) {
+	mk := func() *Baseline {
+		return &Baseline{
+			SchemaVersion: SchemaVersion,
+			Tool:          "cryobench",
+			Profile:       "smoke",
+			Repeat:        2,
+			Seed:          1,
+			ClockSec:      1e-9,
+			Testlib:       true,
+			Circuits: []Circuit{{
+				Name: "ctrl", Scenario: "baseline",
+				AIGNodesIn: 120, AIGNodesOpt: 90, AIGDepthOpt: 9,
+				Deterministic: true,
+				Corners: []Corner{
+					{TempK: 300, Gates: 40, Area: 80, CriticalSec: 3e-10,
+						WNSSec: 7e-10, TNSSec: 0, LeakageW: 1e-8, DynamicW: 2e-6, TotalW: 2.01e-6},
+					{TempK: 10, Gates: 40, Area: 80, CriticalSec: 2.5e-10,
+						WNSSec: 7.5e-10, TNSSec: 0, LeakageW: 1e-12, DynamicW: 1.8e-6, TotalW: 1.8e-6},
+				},
+				StageSeconds: map[string]Stat{
+					"synth.synthesize": {N: 2, Median: 0.5, IQR: 0.02, Min: 0.49, Max: 0.52},
+					"rep.wall":         {N: 2, Median: 0.8, IQR: 0.02, Min: 0.79, Max: 0.81},
+				},
+			}},
+			Engine: map[string]Stat{
+				"sat.conflicts": {N: 2, Median: 1000, IQR: 0, Min: 1000, Max: 1000},
+			},
+		}
+	}
+	return mk(), mk()
+}
+
+func TestDiffClean(t *testing.T) {
+	base, cur := twoBaselines()
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.QoRRegressions != 0 || rep.RuntimeRegressions != 0 {
+		t.Fatalf("clean diff reported regressions: %+v", rep)
+	}
+	if rep.Failed(true) {
+		t.Errorf("clean diff failed")
+	}
+}
+
+func TestDiffInjectedWNSRegression(t *testing.T) {
+	base, cur := twoBaselines()
+	// Inject a WNS degradation at the 10 K corner: slack shrinks by 50 ps.
+	cur.Circuits[0].Corners[1].WNSSec -= 50e-12
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.QoRRegressions != 1 {
+		t.Fatalf("want exactly 1 QoR regression, got %d", rep.QoRRegressions)
+	}
+	if !rep.Failed(false) {
+		t.Errorf("WNS regression must fail the gate")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTable(&buf, false); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wns_seconds") || !strings.Contains(out, "REGRESSED") {
+		t.Errorf("table does not name the regression:\n%s", out)
+	}
+	buf.Reset()
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	if !strings.Contains(buf.String(), "**REGRESSED**") {
+		t.Errorf("markdown does not flag the regression:\n%s", buf.String())
+	}
+}
+
+func TestDiffImprovementIsNotFailure(t *testing.T) {
+	base, cur := twoBaselines()
+	cur.Circuits[0].Corners[0].TotalW *= 0.9 // power got better
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.QoRRegressions != 0 {
+		t.Fatalf("improvement counted as regression")
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Metric == "total_w" && e.Verdict == Improved {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("improvement not classified as Improved")
+	}
+}
+
+func TestDiffRuntimeNoiseAware(t *testing.T) {
+	th := DefaultThresholds()
+
+	// Within the relative band: ignored.
+	base, cur := twoBaselines()
+	cur.Circuits[0].StageSeconds["synth.synthesize"] = Stat{N: 2, Median: 0.55, IQR: 0.02, Min: 0.54, Max: 0.56}
+	if rep := Diff(base, cur, th); rep.RuntimeRegressions != 0 {
+		t.Errorf("10%% runtime shift flagged despite 30%% tolerance")
+	}
+
+	// Big shift but huge IQR (noisy machine): still ignored.
+	base, cur = twoBaselines()
+	cur.Circuits[0].StageSeconds["synth.synthesize"] = Stat{N: 2, Median: 0.9, IQR: 0.5, Min: 0.5, Max: 1.4}
+	if rep := Diff(base, cur, th); rep.RuntimeRegressions != 0 {
+		t.Errorf("noisy runtime shift flagged despite IQR band")
+	}
+
+	// Big, tight shift: flagged as runtime regression — soft by default,
+	// hard only under strictRuntime.
+	base, cur = twoBaselines()
+	cur.Circuits[0].StageSeconds["synth.synthesize"] = Stat{N: 2, Median: 0.9, IQR: 0.02, Min: 0.89, Max: 0.91}
+	rep := Diff(base, cur, th)
+	if rep.RuntimeRegressions != 1 {
+		t.Fatalf("tight 80%% runtime shift not flagged: %+v", rep.Entries)
+	}
+	if rep.Failed(false) {
+		t.Errorf("runtime regression must not fail the default gate")
+	}
+	if !rep.Failed(true) {
+		t.Errorf("runtime regression must fail under -strict-runtime")
+	}
+}
+
+func TestDiffEngineCounters(t *testing.T) {
+	base, cur := twoBaselines()
+	cur.Engine["sat.conflicts"] = Stat{N: 2, Median: 2000, IQR: 0, Min: 2000, Max: 2000}
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.RuntimeRegressions != 1 {
+		t.Errorf("doubled SAT conflicts not flagged: %+v", rep.Entries)
+	}
+}
+
+func TestDiffDroppedCircuitIsHardFailure(t *testing.T) {
+	base, cur := twoBaselines()
+	cur.Circuits = nil
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.QoRRegressions == 0 || !rep.Failed(false) {
+		t.Errorf("dropped circuit did not fail the gate")
+	}
+}
+
+func TestDiffNondeterminismFails(t *testing.T) {
+	base, cur := twoBaselines()
+	cur.Circuits[0].Deterministic = false
+	rep := Diff(base, cur, DefaultThresholds())
+	if !rep.Failed(false) {
+		t.Errorf("nondeterministic run did not fail the gate")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := FindProfile(name)
+		if err != nil {
+			t.Fatalf("FindProfile(%s): %v", name, err)
+		}
+		if len(p.Circuits) == 0 || len(p.Scenarios) == 0 || len(p.Corners) == 0 {
+			t.Errorf("profile %s is degenerate: %+v", name, p)
+		}
+	}
+	if _, err := FindProfile("nope"); err == nil {
+		t.Errorf("unknown profile did not error")
+	}
+}
+
+// TestRunSmokeSingle executes the real harness end to end on the smallest
+// circuit with the synthetic library: schema shape, determinism flag, stage
+// stats, engine counters, and a self-diff that must be clean.
+func TestRunSmokeSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-flow harness run")
+	}
+	prof := Profile{
+		Name:      "unit",
+		Circuits:  []string{"ctrl"},
+		Scenarios: []synth.Scenario{synth.BaselinePowerAware},
+		Corners:   []float64{300, 10},
+		Repeat:    2,
+	}
+	b, err := Run(context.Background(), RunOptions{Profile: prof, UseTestlib: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if b.SchemaVersion != SchemaVersion || b.Tool != "cryobench" {
+		t.Errorf("header wrong: %+v", b)
+	}
+	if len(b.Circuits) != 1 {
+		t.Fatalf("want 1 circuit record, got %d", len(b.Circuits))
+	}
+	c := b.Circuits[0]
+	if !c.Deterministic {
+		t.Errorf("seeded flow flagged nondeterministic")
+	}
+	if len(c.Corners) != 2 || c.Corners[0].Gates == 0 || c.Corners[1].TotalW <= 0 {
+		t.Errorf("corner QoR not populated: %+v", c.Corners)
+	}
+	if c.Corners[0].LeakageW <= c.Corners[1].LeakageW {
+		t.Errorf("cryogenic leakage (%g) not below 300K leakage (%g)",
+			c.Corners[1].LeakageW, c.Corners[0].LeakageW)
+	}
+	if _, ok := c.StageSeconds["synth.synthesize"]; !ok {
+		t.Errorf("stage seconds missing synth.synthesize: %v", c.StageSeconds)
+	}
+	if st, ok := c.StageSeconds["rep.wall"]; !ok || st.N != 2 {
+		t.Errorf("rep.wall stat missing or wrong n: %+v", st)
+	}
+
+	// JSON round trip.
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	// Self-diff must be perfectly clean on QoR.
+	rep := Diff(back, b, DefaultThresholds())
+	if rep.QoRRegressions != 0 || rep.Failed(false) {
+		var tbl bytes.Buffer
+		rep.WriteTable(&tbl, true)
+		t.Errorf("self-diff not clean:\n%s", tbl.String())
+	}
+}

@@ -1,0 +1,259 @@
+package qor
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/charlib"
+	"repro/internal/epfl"
+	"repro/internal/liberty"
+	"repro/internal/mapper"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/pdk"
+	"repro/internal/power"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/testlib"
+)
+
+// RunOptions configures one cryobench recording run.
+type RunOptions struct {
+	Profile Profile
+	Repeat  int   // repetitions; 0 = profile default
+	Seed    int64 // flow seed (determinism anchor); 0 = 1
+	// ClockSec is the reference clock for WNS/TNS; 0 = 1 ns.
+	ClockSec float64
+	// UseTestlib swaps the SPICE-characterized libraries for the fast
+	// synthetic ones (the CI configuration).
+	UseTestlib bool
+	CacheDir   string // liberty cache dir for characterized corners
+	// CreatedAt stamps the baseline (left empty for golden-stable output).
+	CreatedAt string
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+}
+
+// Run executes the profile and returns the recorded baseline.
+//
+// Instrumentation contract: Run enables the global obs metrics registry and
+// — per repetition — swaps in a fresh tracer (obs.ResetTracing), so that
+// per-stage wall times and engine-counter deltas are attributable to one
+// repetition. A -trace flag on the calling binary therefore captures only
+// the final repetition's span forest.
+func Run(ctx context.Context, opt RunOptions) (*Baseline, error) {
+	if opt.Repeat <= 0 {
+		opt.Repeat = opt.Profile.Repeat
+	}
+	if opt.Repeat <= 0 {
+		opt.Repeat = 1
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.ClockSec == 0 {
+		opt.ClockSec = 1e-9
+	}
+	progress := opt.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	reg := obs.EnableMetrics()
+	ctx = obs.Detach(ctx)
+
+	corners, err := loadCorners(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	b := &Baseline{
+		SchemaVersion: SchemaVersion,
+		Tool:          "cryobench",
+		Profile:       opt.Profile.Name,
+		Repeat:        opt.Repeat,
+		Seed:          opt.Seed,
+		ClockSec:      opt.ClockSec,
+		Testlib:       opt.UseTestlib,
+		CreatedAt:     opt.CreatedAt,
+		GoOSArch:      runtime.GOOS + "/" + runtime.GOARCH,
+		Engine:        map[string]Stat{},
+	}
+
+	// engineSamples[name][rep] accumulates counter deltas across the
+	// whole profile, one sample per repetition.
+	engineSamples := map[string][]float64{}
+
+	for _, name := range opt.Profile.Circuits {
+		g, err := epfl.Build(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range opt.Profile.Scenarios {
+			rec := Circuit{
+				Name:          name,
+				Scenario:      sc.String(),
+				AIGNodesIn:    g.NumNodes(),
+				Deterministic: true,
+				StageSeconds:  map[string]Stat{},
+			}
+			stageSamples := map[string][]float64{}
+			for rep := 0; rep < opt.Repeat; rep++ {
+				tracer := obs.ResetTracing()
+				before := reg.Snapshot()
+				t0 := time.Now()
+
+				repCircuit, err := runOnce(ctx, g, sc, corners, opt)
+				if err != nil {
+					return nil, fmt.Errorf("qor: %s/%s rep %d: %w", name, sc, rep, err)
+				}
+				wall := time.Since(t0).Seconds()
+
+				if rep == 0 {
+					rec.AIGNodesOpt = repCircuit.AIGNodesOpt
+					rec.AIGDepthOpt = repCircuit.AIGDepthOpt
+					rec.Corners = repCircuit.Corners
+				} else if !sameQoR(&rec, repCircuit) {
+					rec.Deterministic = false
+				}
+
+				for span, tot := range tracer.Totals() {
+					stageSamples[span] = padTo(stageSamples[span], rep)
+					stageSamples[span][rep] = tot.Total.Seconds()
+				}
+				stageSamples["rep.wall"] = padTo(stageSamples["rep.wall"], rep)
+				stageSamples["rep.wall"][rep] = wall
+
+				delta := reg.Snapshot().Diff(before)
+				for cname, v := range delta.Counters {
+					engineSamples[cname] = padTo(engineSamples[cname], rep)
+					engineSamples[cname][rep] += float64(v)
+				}
+				progress("%-12s %-10s rep %d/%d  %.3fs", name, sc, rep+1, opt.Repeat, wall)
+			}
+			for span, samples := range stageSamples {
+				rec.StageSeconds[span] = NewStat(padTo(samples, opt.Repeat-1))
+			}
+			b.Circuits = append(b.Circuits, rec)
+		}
+	}
+	for cname, samples := range engineSamples {
+		b.Engine[cname] = NewStat(padTo(samples, opt.Repeat-1))
+	}
+	return b, nil
+}
+
+// padTo grows s (with zeros) so index rep is addressable.
+func padTo(s []float64, rep int) []float64 {
+	for len(s) <= rep {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// cornerLib pairs a temperature with its characterized library and match
+// library.
+type cornerLib struct {
+	tempK float64
+	lib   *liberty.Library
+	ml    *mapper.MatchLibrary
+}
+
+func loadCorners(ctx context.Context, opt RunOptions) ([]cornerLib, error) {
+	catalog := pdk.Catalog()
+	out := make([]cornerLib, 0, len(opt.Profile.Corners))
+	for _, temp := range opt.Profile.Corners {
+		var lib *liberty.Library
+		var cells []*pdk.Cell
+		if opt.UseTestlib {
+			lib, cells = testlib.Build(catalog, testlib.Names(), temp)
+		} else {
+			cacheDir := opt.CacheDir
+			if cacheDir == "" {
+				cacheDir = "build"
+			}
+			var err error
+			lib, err = charlib.CharacterizeLibraryCached(ctx,
+				charlib.DefaultCachePath(cacheDir, temp, len(catalog)),
+				fmt.Sprintf("cryo%gk", temp), catalog,
+				charlib.DefaultConfig(temp), nil)
+			if err != nil {
+				return nil, fmt.Errorf("qor: characterizing %g K corner: %w", temp, err)
+			}
+			cells = catalog
+		}
+		ml, err := mapper.BuildMatchLibrary(lib, cells, 6)
+		if err != nil {
+			return nil, fmt.Errorf("qor: match library at %g K: %w", temp, err)
+		}
+		out = append(out, cornerLib{tempK: temp, lib: lib, ml: ml})
+	}
+	return out, nil
+}
+
+// runOnce runs the full flow for one (circuit, scenario) repetition across
+// all corners and returns the QoR record.
+func runOnce(ctx context.Context, g *aig.AIG, sc synth.Scenario, corners []cornerLib, opt RunOptions) (*Circuit, error) {
+	rec := &Circuit{}
+	for _, c := range corners {
+		res, err := synth.Synthesize(ctx, g, c.ml, synth.Options{Scenario: sc, Seed: opt.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("synthesis at %g K: %w", c.tempK, err)
+		}
+		rec.AIGNodesOpt = res.NodesPower
+		rec.AIGDepthOpt = res.DepthOut
+		timing, err := sta.Analyze(ctx, res.Netlist, c.lib, sta.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("STA at %g K: %w", c.tempK, err)
+		}
+		rep, err := power.Analyze(ctx, res.Netlist, c.lib, power.Options{
+			ClockPeriod: opt.ClockSec, Seed: opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("power at %g K: %w", c.tempK, err)
+		}
+		rec.Corners = append(rec.Corners, Corner{
+			TempK:       c.tempK,
+			Gates:       res.Netlist.NumGates(),
+			Area:        res.Netlist.Area(),
+			CriticalSec: timing.CriticalDelay,
+			WNSSec:      timing.WorstSlack(opt.ClockSec),
+			TNSSec:      endpointTNS(timing, res.Netlist, opt.ClockSec),
+			LeakageW:    rep.Leakage,
+			DynamicW:    rep.Internal + rep.Switching,
+			TotalW:      rep.Total(),
+		})
+	}
+	return rec, nil
+}
+
+// endpointTNS sums the negative endpoint (primary-output) slacks.
+func endpointTNS(r *sta.Result, nl *netlist.Netlist, clock float64) float64 {
+	slacks := r.Slacks(clock)
+	var tns float64
+	for _, out := range nl.Outputs {
+		if s := slacks[nl.Resolve(out)]; s < 0 {
+			tns += s
+		}
+	}
+	return tns
+}
+
+// sameQoR reports whether a repetition reproduced the recorded QoR bit for
+// bit (the flow is seeded, so it should).
+func sameQoR(rec *Circuit, rep *Circuit) bool {
+	if rec.AIGNodesOpt != rep.AIGNodesOpt || rec.AIGDepthOpt != rep.AIGDepthOpt {
+		return false
+	}
+	if len(rec.Corners) != len(rep.Corners) {
+		return false
+	}
+	for i := range rec.Corners {
+		if rec.Corners[i] != rep.Corners[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,7 +6,11 @@
 // inside ABC.
 package sat
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // Lit is a literal: variable<<1 | sign (sign 1 = negated). Variables are
 // 0-based.
@@ -338,6 +342,13 @@ func (s *Solver) pickBranch() (Lit, bool) {
 
 // Solve searches for a satisfying assignment under the given assumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.conflicts = 0
+	if obs.MetricsEnabled() {
+		// Batched at call granularity: one counter bump per Solve, plus the
+		// conflict total accumulated during this search, flushed on return.
+		obs.C("sat.solves").Inc()
+		defer func() { obs.C("sat.conflicts").Add(s.conflicts) }()
+	}
 	if s.rootUnsat {
 		return Unsat
 	}
@@ -345,7 +356,6 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	if s.propagate() != nil {
 		return Unsat
 	}
-	s.conflicts = 0
 	restartLimit := int64(100)
 
 	// Apply assumptions as pseudo-decisions.

@@ -1,0 +1,90 @@
+package spice
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// rcWaveform builds a small RC charging circuit and runs a short transient.
+func rcWaveform(t *testing.T) *Waveform {
+	t.Helper()
+	c := New(300)
+	in := c.Node("in")
+	out := c.Node("out")
+	vdd := c.Node("vdd")
+	c.AddVSource(in, Ground, Pulse(0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 10e-9, 20e-9))
+	c.AddVSource(vdd, Ground, DC(1.0))
+	c.AddResistor(in, out, 1e3)
+	c.AddCapacitor(out, Ground, 1e-12)
+	c.AddResistor(vdd, Ground, 1e6)
+	wf, err := c.Transient(5e-9, 0.05e-9)
+	if err != nil {
+		t.Fatalf("Transient: %v", err)
+	}
+	return wf
+}
+
+func TestWriteVCD(t *testing.T) {
+	wf := rcWaveform(t)
+	var buf bytes.Buffer
+	if err := wf.WriteVCD(&buf, "test", nil); err != nil {
+		t.Fatalf("WriteVCD: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"$timescale 1fs $end",
+		"$var real 64 ! in $end",
+		"$var real 64 \" out $end",
+		"$var real 64 # vdd $end",
+		"$enddefinitions $end",
+		"#0\n$dumpvars\n",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("VCD missing %q:\n%s", want, s)
+		}
+	}
+	// The DC-held node is constant at 1 V: exactly one value change. The RC
+	// node charges: many changes.
+	if n := strings.Count(s, " #\n"); n != 1 {
+		t.Errorf("constant node dumped %d times, want 1", n)
+	}
+	if n := strings.Count(s, " \"\n"); n < 10 {
+		t.Errorf("charging node dumped only %d times", n)
+	}
+	// Final timestamp must be 5 ns in femtoseconds.
+	if !strings.Contains(s, "#5000000") {
+		t.Errorf("missing 5 ns timestamp in:\n%s", s)
+	}
+}
+
+func TestWriteVCDSelectsNodes(t *testing.T) {
+	wf := rcWaveform(t)
+	var buf bytes.Buffer
+	if err := wf.WriteVCD(&buf, "", []string{"out"}); err != nil {
+		t.Fatalf("WriteVCD: %v", err)
+	}
+	s := buf.String()
+	if strings.Contains(s, " in ") {
+		t.Errorf("unselected node dumped:\n%s", s)
+	}
+	if err := wf.WriteVCD(&buf, "", []string{"nope"}); err == nil {
+		t.Errorf("unknown node did not error")
+	}
+}
+
+func TestVCDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := vcdCode(i)
+		if seen[c] {
+			t.Fatalf("vcdCode collision at %d: %q", i, c)
+		}
+		seen[c] = true
+		for j := 0; j < len(c); j++ {
+			if c[j] < 33 || c[j] > 126 {
+				t.Fatalf("vcdCode(%d) has non-printable byte %d", i, c[j])
+			}
+		}
+	}
+}

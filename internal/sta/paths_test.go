@@ -1,0 +1,115 @@
+package sta
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/testlib"
+)
+
+// pathsFixture: two endpoints with different depths, so the path ranking
+// has something to order. y1 ends a 3-gate chain, y2 a 1-gate chain.
+func pathsFixture(t *testing.T) *Result {
+	t.Helper()
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	nl := netlist.New("paths", used)
+	nl.Inputs = []string{"a", "b"}
+	nl.AddGate("INVx1", []string{"a"}, "n1")
+	nl.AddGate("INVx1", []string{"n1"}, "n2")
+	nl.AddGate("NAND2x1", []string{"n2", "b"}, "n3")
+	nl.AddGate("INVx1", []string{"b"}, "n4")
+	nl.Outputs = []string{"y1", "y2"}
+	nl.Aliases["y1"] = "n3"
+	nl.Aliases["y2"] = "n4"
+	res, err := Analyze(context.Background(), nl, lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTopPaths(t *testing.T) {
+	res := pathsFixture(t)
+	clock := 1e-9
+	paths := res.TopPaths(0, clock)
+	if len(paths) != 2 {
+		t.Fatalf("want 2 endpoint paths, got %d", len(paths))
+	}
+	// Worst first: the deep chain ends at y1.
+	if paths[0].Endpoint != "y1" || paths[1].Endpoint != "y2" {
+		t.Errorf("path order wrong: %s, %s", paths[0].Endpoint, paths[1].Endpoint)
+	}
+	if paths[0].ArrivalSec <= paths[1].ArrivalSec {
+		t.Errorf("ranking not by arrival: %g <= %g", paths[0].ArrivalSec, paths[1].ArrivalSec)
+	}
+	// K truncates.
+	if got := res.TopPaths(1, clock); len(got) != 1 || got[0].Endpoint != "y1" {
+		t.Errorf("TopPaths(1) = %+v", got)
+	}
+
+	p := paths[0]
+	if p.SlackSec != clock-p.ArrivalSec {
+		t.Errorf("slack %g != clock - arrival %g", p.SlackSec, clock-p.ArrivalSec)
+	}
+	// Launch-first: a -> n1 -> n2 -> n3.
+	want := []string{"a", "n1", "n2", "n3"}
+	if len(p.Arcs) != len(want) {
+		t.Fatalf("arc count %d, want %d: %+v", len(p.Arcs), len(want), p.Arcs)
+	}
+	for i, a := range p.Arcs {
+		if a.ToNet != want[i] {
+			t.Errorf("arc %d net = %s, want %s", i, a.ToNet, want[i])
+		}
+	}
+	// Launch point: no gate, zero delay, zero arrival.
+	if p.Arcs[0].Gate != "" || p.Arcs[0].DelaySec != 0 || p.Arcs[0].ArrivalSec != 0 {
+		t.Errorf("launch arc not clean: %+v", p.Arcs[0])
+	}
+	// Per-arc delays must sum to the endpoint arrival.
+	var sum float64
+	for _, a := range p.Arcs {
+		if a.DelaySec < 0 {
+			t.Errorf("negative arc delay: %+v", a)
+		}
+		sum += a.DelaySec
+	}
+	if math.Abs(sum-p.ArrivalSec) > 1e-15 {
+		t.Errorf("arc delays sum %g != arrival %g", sum, p.ArrivalSec)
+	}
+	// Every non-launch arc names its driving cell.
+	for _, a := range p.Arcs[1:] {
+		if a.Gate == "" || a.Cell == "" {
+			t.Errorf("arc missing driver: %+v", a)
+		}
+		if a.SlewSec <= 0 {
+			t.Errorf("arc slew not populated: %+v", a)
+		}
+	}
+}
+
+func TestWritePathReport(t *testing.T) {
+	res := pathsFixture(t)
+	var buf bytes.Buffer
+	if err := WritePathReport(&buf, res.TopPaths(2, 1e-9)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"path 1: endpoint y1", "path 2: endpoint y2",
+		"<input>", "NAND2x1", "delay(ps)", "MET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// A 1 ps clock is violated by any real path.
+	buf.Reset()
+	if err := WritePathReport(&buf, res.TopPaths(1, 1e-12)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "VIOLATED") {
+		t.Errorf("violated path not flagged:\n%s", buf.String())
+	}
+}

@@ -32,9 +32,10 @@ type Result struct {
 	// CriticalPath lists the nets of the worst path, output first.
 	CriticalPath []string
 
-	nl  *netlist.Netlist
-	lib *liberty.Library
-	opt Options
+	nl   *netlist.Netlist
+	lib  *liberty.Library
+	opt  Options
+	prev map[string]string // net -> worst-path predecessor net
 }
 
 // Analyze runs STA on a mapped netlist against its characterized library.
@@ -145,7 +146,7 @@ func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt
 	obs.H("sta.critical_delay_seconds").Observe(res.CriticalDelay)
 	span.SetAttr("critical_ps", res.CriticalDelay*1e12)
 	span.SetAttr("arcs", arcsEvaluated)
-	res.nl, res.lib, res.opt = nl, lib, opt
+	res.nl, res.lib, res.opt, res.prev = nl, lib, opt, prev
 	return res, nil
 }
 
