@@ -101,6 +101,7 @@ func main() {
 		exitOn(os.MkdirAll(dir, 0o755))
 	}
 	exitOn(b.WriteFile(outPath))
+	obs.J().Artifact("cryobench", outPath)
 	fmt.Fprintf(os.Stderr, "baseline written: %s\n", outPath)
 
 	exitOn(qor.WriteBaselineSummary(os.Stdout, b))
@@ -130,6 +131,7 @@ func reportDiff(base, cur *qor.Baseline, strictRuntime, verbose bool, mdPath str
 		err = rep.WriteMarkdown(f)
 		f.Close()
 		exitOn(err)
+		obs.J().Artifact("cryobench", mdPath)
 		fmt.Fprintf(os.Stderr, "markdown report written: %s\n", mdPath)
 	}
 	if rep.Failed(strictRuntime) {

@@ -1,0 +1,137 @@
+// Command cryoobs reads the structured JSONL run journals written by the
+// flow binaries (the -journal flag) and turns them into failure forensics:
+//
+//	cryoobs report  [-o report.md] [-run <id>] journal.jsonl...  # markdown post-mortem
+//	cryoobs summary journal.jsonl...                             # one line per run
+//	cryoobs tail    [-n 20] [-kind failure] journal.jsonl...     # last N events
+//	cryoobs merge   journal.jsonl...                             # merged JSONL to stdout
+//
+// report renders per-run stage timelines, failure sites ranked by
+// recurrence, and the worst-converging devices and nodes decoded from
+// SPICE nonconvergence diagnoses. merge interleaves journals from several
+// binaries of one flow invocation by wall-clock time, preserving run IDs,
+// so a single file can feed later analysis.
+//
+// Exit status: 0 on success (report/summary exit 0 even when the journal
+// records failures — the journal being readable is the success condition),
+// 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/forensics"
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "report":
+		cmdReport(args)
+	case "summary":
+		cmdSummary(args)
+	case "tail":
+		cmdTail(args)
+	case "merge":
+		cmdMerge(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cryoobs: unknown command %q\n\n", cmd)
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cryoobs <command> [flags] <journal.jsonl>...
+
+commands:
+  report   render a markdown post-mortem (stage timeline, failure sites
+           ranked by recurrence, worst-converging devices/nodes)
+  summary  one-line status per run
+  tail     pretty-print the last events
+  merge    merge journals by time into one JSONL stream on stdout`)
+	os.Exit(2)
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	run := fs.String("run", "", "restrict the report to one run ID")
+	fs.Parse(args)
+	evs := loadArgs(fs)
+	if *run != "" {
+		evs = forensics.FilterRun(evs, *run)
+	}
+	rep := forensics.Build(evs)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+	check(rep.WriteMarkdown(w))
+}
+
+func cmdSummary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	fs.Parse(args)
+	evs := loadArgs(fs)
+	check(forensics.Build(evs).WriteSummary(os.Stdout))
+}
+
+func cmdTail(args []string) {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of trailing events to print")
+	kind := fs.String("kind", "", "only events of this kind (e.g. failure, artifact)")
+	run := fs.String("run", "", "only events of this run ID")
+	fs.Parse(args)
+	evs := loadArgs(fs)
+	if *run != "" {
+		evs = forensics.FilterRun(evs, *run)
+	}
+	if *kind != "" {
+		evs = forensics.FilterKind(evs, *kind)
+	}
+	if *n > 0 && len(evs) > *n {
+		evs = evs[len(evs)-*n:]
+	}
+	for i := range evs {
+		check(forensics.WriteEvent(os.Stdout, &evs[i]))
+	}
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	fs.Parse(args)
+	evs := loadArgs(fs)
+	enc := json.NewEncoder(os.Stdout)
+	for i := range evs {
+		check(enc.Encode(&evs[i]))
+	}
+}
+
+func loadArgs(fs *flag.FlagSet) []obs.Event {
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "cryoobs: no journal files given")
+		os.Exit(2)
+	}
+	evs, err := forensics.Load(fs.Args()...)
+	check(err)
+	return evs
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cryoobs:", err)
+		os.Exit(2)
+	}
+}

@@ -23,6 +23,11 @@ import (
 func CacheKey(cells []*pdk.Cell, cfg Config) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "v1|vdd=%.17g|temp=%.17g|slews=%v|loads=%v\n", cfg.Vdd, cfg.TempK, cfg.Slews, cfg.Loads)
+	// Forensics knobs change results, so they must key the cache — but only
+	// when set, so existing cached corners keep their keys.
+	if cfg.NewtonIterLimit != 0 || cfg.SkipLeakage {
+		fmt.Fprintf(h, "iterlimit=%d|skipleak=%t\n", cfg.NewtonIterLimit, cfg.SkipLeakage)
+	}
 	for _, c := range cells {
 		fmt.Fprintf(h, "cell=%s|base=%s|drive=%d|in=%s|out=%s|area=%.17g|seq=%t|clock=%s|edge=%t|flop=%t\n",
 			c.Name, c.Base, c.Drive, strings.Join(c.Inputs, ","), strings.Join(c.Outputs, ","),
@@ -86,6 +91,7 @@ func CharacterizeLibraryCached(ctx context.Context, path, name string, cells []*
 	if err := os.WriteFile(metaPath(path), []byte(key+"\n"), 0o644); err != nil {
 		return nil, err
 	}
+	obs.J().Artifact("charlib.cache", path)
 	return lib, nil
 }
 

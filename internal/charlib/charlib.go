@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,6 +28,14 @@ type Config struct {
 	Slews   []float64 // input transition times (full-swing equivalent, s)
 	Loads   []float64 // output load capacitances (F)
 	Workers int       // parallel cell workers; 0 = GOMAXPROCS
+
+	// NewtonIterLimit caps SPICE Newton iterations per solve (0 = solver
+	// default). Forensics/debug knob: a tiny cap forces nonconvergence so
+	// the diagnosis pipeline can be exercised end to end.
+	NewtonIterLimit int
+	// SkipLeakage skips the 2^n static-power sweep — useful when debugging
+	// a single failing arc without paying for the leakage enumeration.
+	SkipLeakage bool
 }
 
 // DefaultConfig returns the paper's 7x7 characterization grid at the given
@@ -123,6 +132,45 @@ type charer struct {
 	cfg Config
 }
 
+// newCircuit builds an empty circuit at the corner temperature with the
+// configured Newton iteration budget applied.
+func (ch *charer) newCircuit() *spice.Circuit {
+	c := spice.New(ch.cfg.TempK)
+	c.MaxIter = ch.cfg.NewtonIterLimit
+	return c
+}
+
+// journalFailure records a characterization failure in the run journal:
+// the failing (cell, arc, slew, load, temperature) point, plus the SPICE
+// convergence diagnosis when the error carries one — instead of letting
+// the forensic context die inside the error string.
+func (ch *charer) journalFailure(cell *pdk.Cell, arc string, slew, load float64, err error) {
+	obs.C("charlib.failures").Inc()
+	j := obs.J()
+	if j == nil {
+		return
+	}
+	attrs := map[string]string{
+		"cell":   cell.Name,
+		"arc":    arc,
+		"temp_k": strconv.FormatFloat(ch.cfg.TempK, 'g', -1, 64),
+	}
+	if slew > 0 || load > 0 {
+		attrs["slew"] = strconv.FormatFloat(slew, 'g', 6, 64)
+		attrs["load"] = strconv.FormatFloat(load, 'g', 6, 64)
+	}
+	var detail any
+	if ce := spice.AsConvergenceError(err); ce != nil {
+		attrs["worst_node"] = ce.Diag.WorstNode
+		attrs["phase"] = ce.Diag.Phase
+		if len(ce.Diag.Devices) > 0 {
+			attrs["worst_device"] = ce.Diag.Devices[0].Device
+		}
+		detail = ce.Diag
+	}
+	j.Failure("charlib.arc", err.Error(), attrs, detail)
+}
+
 func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 	lc := &liberty.Cell{
 		Name:       cell.Name,
@@ -130,11 +178,14 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 		Sequential: cell.Seq,
 		ClockPin:   cell.Clock,
 	}
-	leak, err := ch.leakage(cell)
-	if err != nil {
-		return nil, fmt.Errorf("leakage: %w", err)
+	if !ch.cfg.SkipLeakage {
+		leak, err := ch.leakage(cell)
+		if err != nil {
+			ch.journalFailure(cell, "leakage", 0, 0, err)
+			return nil, fmt.Errorf("leakage: %w", err)
+		}
+		lc.LeakagePower = leak
 	}
-	lc.LeakagePower = leak
 
 	for _, in := range cell.Inputs {
 		lc.Pins = append(lc.Pins, &liberty.Pin{
@@ -317,7 +368,7 @@ func (ch *charer) leakage(cell *pdk.Cell) (float64, error) {
 // state nodes first steers Newton onto a stable digital branch, and the
 // operating point is then re-solved without the aid.
 func (ch *charer) staticPower(cell *pdk.Cell, vec int) (float64, error) {
-	c := spice.New(ch.cfg.TempK)
+	c := ch.newCircuit()
 	vddN := c.Node("vdd")
 	br := c.AddVSource(vddN, spice.Ground, spice.DC(ch.cfg.Vdd))
 	pins := map[string]spice.NodeID{}

@@ -32,14 +32,17 @@ func (ch *charer) combArc(cell *pdk.Cell, in, out string, vec int, o0, o1 bool) 
 		RisePower:  liberty.NewTable(cfg.Slews, cfg.Loads),
 		FallPower:  liberty.NewTable(cfg.Slews, cfg.Loads),
 	}
+	arc := in + "->" + out
 	for i, slew := range cfg.Slews {
 		for j, load := range cfg.Loads {
 			rise, err := ch.runComb(cell, in, out, vec, true, slew, load)
 			if err != nil {
+				ch.journalFailure(cell, arc, slew, load, err)
 				return nil, nil, fmt.Errorf("slew=%g load=%g rise: %w", slew, load, err)
 			}
 			fall, err := ch.runComb(cell, in, out, vec, false, slew, load)
 			if err != nil {
+				ch.journalFailure(cell, arc, slew, load, err)
 				return nil, nil, fmt.Errorf("slew=%g load=%g fall: %w", slew, load, err)
 			}
 			// Input rising waveform produces output rise when o1 is true
@@ -50,10 +53,12 @@ func (ch *charer) combArc(cell *pdk.Cell, in, out string, vec int, o0, o1 bool) 
 			}
 			dRise, trRise, err := measureDelay(outRiseWf, cfg.Vdd, true)
 			if err != nil {
+				ch.journalFailure(cell, arc, slew, load, err)
 				return nil, nil, fmt.Errorf("slew=%g load=%g output-rise: %w", slew, load, err)
 			}
 			dFall, trFall, err := measureDelay(outFallWf, cfg.Vdd, false)
 			if err != nil {
+				ch.journalFailure(cell, arc, slew, load, err)
 				return nil, nil, fmt.Errorf("slew=%g load=%g output-fall: %w", slew, load, err)
 			}
 			tm.CellRise.Values[i][j] = dRise
@@ -85,7 +90,7 @@ func (ch *charer) combArc(cell *pdk.Cell, in, out string, vec int, o0, o1 bool) 
 // vector.
 func (ch *charer) runComb(cell *pdk.Cell, in, out string, vec int, inputRises bool, slew, load float64) (*arcWaveform, error) {
 	cfg := ch.cfg
-	c := spice.New(cfg.TempK)
+	c := ch.newCircuit()
 	vddN := c.Node("vdd")
 	supply := spice.DC(cfg.Vdd)
 	br := c.AddVSource(vddN, spice.Ground, supply)
@@ -202,6 +207,7 @@ func (ch *charer) clockArc(cell *pdk.Cell, out string) (*liberty.Timing, *libert
 		for j, load := range cfg.Loads {
 			res, err := ch.runClock(cell, out, slew, load)
 			if err != nil {
+				ch.journalFailure(cell, cell.Clock+"->"+out, slew, load, err)
 				return nil, nil, fmt.Errorf("slew=%g load=%g: %w", slew, load, err)
 			}
 			tm.CellRise.Values[i][j] = res.dRise
@@ -223,7 +229,7 @@ type clockResult struct {
 // at the 2nd (Q rise) and 3rd (Q fall) active edges.
 func (ch *charer) runClock(cell *pdk.Cell, out string, slew, load float64) (*clockResult, error) {
 	cfg := ch.cfg
-	c := spice.New(cfg.TempK)
+	c := ch.newCircuit()
 	vddN := c.Node("vdd")
 	supply := spice.DC(cfg.Vdd)
 	br := c.AddVSource(vddN, spice.Ground, supply)

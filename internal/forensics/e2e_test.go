@@ -1,0 +1,93 @@
+package forensics
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/obs"
+	"repro/internal/pdk"
+)
+
+// TestNonconvergentCharlibPostMortem is the end-to-end acceptance path:
+// an intentionally nonconvergent 4 K characterization writes a journal,
+// and the rendered post-mortem names the failing (cell, arc, slew, load,
+// temperature) point and the worst-residual device.
+func TestNonconvergentCharlibPostMortem(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "char.jsonl")
+	f, err := os.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := obs.NewJournal(f, "r-e2e000000001")
+	prev := obs.SetJournal(j)
+	defer obs.SetJournal(prev)
+
+	// Two Newton iterations cannot settle the steep 4 K exponentials;
+	// SkipLeakage makes the first failure land in a timing arc, where the
+	// full (slew, load) context is known.
+	cfg := charlib.QuickConfig(4)
+	cfg.SkipLeakage = true
+	cfg.NewtonIterLimit = 2
+	cell := pdk.FindCell(pdk.Catalog(), "INVx1")
+	if cell == nil {
+		t.Fatal("INVx1 not in catalog")
+	}
+	if _, err := charlib.CharacterizeCell(context.Background(), cell, cfg); err == nil {
+		t.Fatal("expected nonconvergence at 4 K with NewtonIterLimit=2")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, err := Load(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Build(evs)
+	if len(rep.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(rep.Runs))
+	}
+	run := &rep.Runs[0]
+	if run.Clean() {
+		t.Fatal("post-mortem records no failure")
+	}
+	site := &run.Failures[0]
+	if site.Cell != "INVx1" {
+		t.Errorf("failing cell = %q, want INVx1", site.Cell)
+	}
+	if !strings.Contains(site.Arc, "->") {
+		t.Errorf("failing arc %q does not name an input->output pair", site.Arc)
+	}
+	a := site.First.Attrs
+	if a["slew"] == "" || a["load"] == "" {
+		t.Errorf("failure lacks slew/load context: %v", a)
+	}
+	if a["temp_k"] != "4" {
+		t.Errorf("failure temp_k = %q, want 4", a["temp_k"])
+	}
+	if site.Diag == nil {
+		t.Fatal("failure carries no SPICE diagnosis")
+	}
+	if site.Diag.WorstNode == "" || len(site.Diag.Devices) == 0 {
+		t.Fatalf("diagnosis incomplete: %+v", site.Diag)
+	}
+	worstDev := site.Diag.Devices[0].Device
+	if worstDev == "" {
+		t.Fatal("worst-residual device unnamed")
+	}
+
+	var md bytes.Buffer
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"INVx1", site.Arc, a["slew"], a["load"], worstDev, site.Diag.WorstNode} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, md.String())
+		}
+	}
+}

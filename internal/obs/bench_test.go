@@ -30,6 +30,17 @@ func BenchmarkDisabledCounter(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledJournal proves the disabled-journal fast path is
+// allocation-free: one atomic pointer load plus a nil check.
+func BenchmarkDisabledJournal(b *testing.B) {
+	DisableJournal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		J().Event("bench.kind", "bench.stage", "msg", nil)
+	}
+}
+
 // BenchmarkEnabledCounter measures the enabled hot path (lookup + atomic
 // add) for comparison.
 func BenchmarkEnabledCounter(b *testing.B) {

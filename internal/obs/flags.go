@@ -7,16 +7,23 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
 )
 
 // Flags carries the standard observability CLI flags shared by every
-// binary in the flow: -metrics, -trace, -pprof, -obs-addr, and -loglevel.
+// binary in the flow: -metrics, -trace, -pprof, -obs-addr, -loglevel, and
+// -journal.
 type Flags struct {
 	MetricsPath string
 	TracePath   string
 	PprofAddr   string
 	ObsAddr     string
 	LogLevel    string
+	JournalPath string
+
+	runEnded atomic.Bool // run.end emitted (Flush may be called twice)
 }
 
 // InstallFlags registers the observability flags on fs (typically
@@ -28,6 +35,7 @@ func InstallFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve live metrics (Prometheus /metrics, /spans, pprof) on this address; implies metrics+tracing")
 	fs.StringVar(&f.LogLevel, "loglevel", "", "diagnostic log level: debug|info|warn|error (default warn)")
+	fs.StringVar(&f.JournalPath, "journal", "", "append a structured JSONL run journal to this file (cryoobs reads it)")
 	return f
 }
 
@@ -59,6 +67,20 @@ func (f *Flags) Activate() (flush func(), err error) {
 			return nil, err
 		}
 	}
+	if f.JournalPath != "" {
+		j, err := EnableJournal(f.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		j.Event(KindRunStart, "", strings.Join(os.Args, " "), map[string]string{
+			"bin": filepath.Base(os.Args[0]),
+		})
+		// Flush eagerly: a crashed process must leave at least its run.start
+		// on disk, or there is nothing to post-mortem.
+		if err := j.Sync(); err != nil {
+			Log().Errorf("obs: journal: flushing %s: %v", f.JournalPath, err)
+		}
+	}
 	return f.Flush, nil
 }
 
@@ -79,6 +101,15 @@ func (f *Flags) Flush() {
 	if f.TracePath != "" {
 		if err := writeFileWith(f.TracePath, Tracing().WriteChromeTrace); err != nil {
 			Log().Errorf("obs: writing trace to %s: %v", f.TracePath, err)
+		}
+	}
+	if f.JournalPath != "" {
+		j := J()
+		if f.runEnded.CompareAndSwap(false, true) {
+			j.Event(KindRunEnd, "", "", nil)
+		}
+		if err := j.Sync(); err != nil {
+			Log().Errorf("obs: journal: flushing %s: %v", f.JournalPath, err)
 		}
 	}
 }

@@ -100,6 +100,21 @@ func (l *Logger) Warnf(format string, args ...any) { l.logf(LogWarn, format, arg
 // Errorf logs at error level.
 func (l *Logger) Errorf(format string, args ...any) { l.logf(LogError, format, args...) }
 
+// Emitf writes a line tagged with the given level regardless of the
+// configured minimum. It exists for explicitly requested diagnostics —
+// env-var opt-ins like SPICE_DEBUG — so libraries can honor them locally
+// without mutating the global log level out from under the user's
+// -loglevel choice.
+func (l *Logger) Emitf(level LogLevel, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %-5s %s\n", time.Now().Format("15:04:05.000"), level, msg)
+}
+
 // DebugEnabled reports whether debug logs are being emitted, for call
 // sites that would otherwise pay to format large values.
 func (l *Logger) DebugEnabled() bool {

@@ -1,14 +1,16 @@
 // Package obs is the flow-wide observability layer: cheap atomic metrics
 // (counters, gauges, histograms) behind a process-global registry,
 // hierarchical wall-time spans that nest into a flow tree and export as
-// Chrome trace_event JSON, and a leveled logger for library diagnostics.
+// Chrome trace_event JSON, a leveled logger for library diagnostics, and an
+// append-only JSONL run journal — the flight recorder that failure
+// forensics (cmd/cryoobs) reads back.
 //
 // Everything is stdlib-only and off by default. When disabled, the hot-path
-// entry points (obs.C(...).Add, obs.Start, logger calls below the level)
-// reduce to an atomic pointer load plus a nil check — no allocation, no
-// locking — so instrumentation can stay in the hot paths permanently.
-// CLI binaries enable the layer through the -metrics / -trace / -pprof
-// flags installed by InstallFlags.
+// entry points (obs.C(...).Add, obs.Start, obs.J().Event, logger calls
+// below the level) reduce to an atomic pointer load plus a nil check — no
+// allocation, no locking — so instrumentation can stay in the hot paths
+// permanently. CLI binaries enable the layer through the -metrics / -trace
+// / -pprof / -journal flags installed by InstallFlags.
 //
 // Metric names are dot-separated, lowest-level subsystem first
 // (e.g. "spice.newton.iterations", "charlib.cache.hits"); span names follow

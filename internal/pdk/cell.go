@@ -77,6 +77,13 @@ func (cl *Cell) Build(c *spice.Circuit, prefix string, pins map[string]spice.Nod
 		fresh++
 		return c.Node(fmt.Sprintf("%s.__t%d", prefix, fresh))
 	}
+	// Devices are named "<prefix>.<stage>.<pol><k>(<gate>)" so SPICE
+	// nonconvergence forensics can point at a specific transistor.
+	ndev := 0
+	name := func(stage string, pol byte, gate string) {
+		ndev++
+		c.NameLast(fmt.Sprintf("%s.%s.%c%d(%s)", prefix, stage, pol, ndev, gate))
+	}
 	for _, st := range cl.Stages {
 		out := node(st.Out)
 		if st.Tri != nil {
@@ -85,9 +92,13 @@ func (cl *Cell) Build(c *spice.Circuit, prefix string, pins map[string]spice.Nod
 			x := mkNet()
 			y := mkNet()
 			c.AddMOSFET(device.NewP(nP), x, node(st.Tri.In), vdd, vdd)
+			name(st.Out, 'P', st.Tri.In)
 			c.AddMOSFET(device.NewP(nP), out, node(st.Tri.EnP), x, vdd)
+			name(st.Out, 'P', st.Tri.EnP)
 			c.AddMOSFET(device.NewN(nN), out, node(st.Tri.EnN), y, spice.Ground)
+			name(st.Out, 'N', st.Tri.EnN)
 			c.AddMOSFET(device.NewN(nN), y, node(st.Tri.In), spice.Ground, spice.Ground)
+			name(st.Out, 'N', st.Tri.In)
 			continue
 		}
 		pdn := st.F
@@ -95,9 +106,11 @@ func (cl *Cell) Build(c *spice.Circuit, prefix string, pins map[string]spice.Nod
 		nN, nP := finSizing(cl.Drive, pdn.SeriesDepth(), pun.SeriesDepth())
 		buildNetwork(c, pdn, out, spice.Ground, func(gate string, a, b spice.NodeID) {
 			c.AddMOSFET(device.NewN(nN), a, node(gate), b, spice.Ground)
+			name(st.Out, 'N', gate)
 		}, mkNet)
 		buildNetwork(c, pun, vdd, out, func(gate string, a, b spice.NodeID) {
 			c.AddMOSFET(device.NewP(nP), b, node(gate), a, vdd)
+			name(st.Out, 'P', gate)
 		}, mkNet)
 	}
 	return nil

@@ -107,9 +107,22 @@ func Run(ctx context.Context, opt RunOptions) (*Baseline, error) {
 
 				repCircuit, err := runOnce(ctx, g, sc, corners, opt)
 				if err != nil {
+					obs.J().Failure("qor", err.Error(), map[string]string{
+						"circuit":  name,
+						"scenario": sc.String(),
+						"rep":      fmt.Sprint(rep),
+					}, nil)
 					return nil, fmt.Errorf("qor: %s/%s rep %d: %w", name, sc, rep, err)
 				}
 				wall := time.Since(t0).Seconds()
+				obs.J().Event(obs.KindStageEnd, "qor.rep",
+					fmt.Sprintf("%s/%s rep %d/%d", name, sc, rep+1, opt.Repeat),
+					map[string]string{
+						"circuit":  name,
+						"scenario": sc.String(),
+						"rep":      fmt.Sprint(rep),
+						"seconds":  fmt.Sprintf("%.6f", wall),
+					})
 
 				if rep == 0 {
 					rec.AIGNodesOpt = repCircuit.AIGNodesOpt

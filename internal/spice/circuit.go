@@ -21,11 +21,16 @@ const Ground NodeID = -1
 
 // Circuit is a flat transistor-level circuit at a fixed temperature.
 type Circuit struct {
-	Temp  float64 // simulation temperature in kelvin
-	names []string
-	index map[string]NodeID
-	elems []element
-	nvsrc int
+	Temp float64 // simulation temperature in kelvin
+	// MaxIter caps Newton iterations per solve attempt; 0 uses the solver
+	// default. A deliberately tiny cap is the supported way to force
+	// nonconvergence diagnostics (forensics tests, failure drills).
+	MaxIter   int
+	names     []string
+	index     map[string]NodeID
+	elems     []element
+	elemNames []string // per-element names ("" = auto, see ElemName)
+	nvsrc     int
 }
 
 // New returns an empty circuit that will be simulated at the given
@@ -73,14 +78,57 @@ type element interface {
 	stamp(ctx *stampCtx)
 }
 
+// addElem appends an element with an empty (auto) name slot.
+func (c *Circuit) addElem(e element) {
+	c.elems = append(c.elems, e)
+	c.elemNames = append(c.elemNames, "")
+}
+
+// NameLast names the most recently added element, so nonconvergence
+// forensics can attribute residuals to "dut.q.N(A)" instead of "elem#17".
+// Builders (the netlist parser, pdk cell instantiation) call it right after
+// each Add*.
+func (c *Circuit) NameLast(name string) {
+	if len(c.elemNames) > 0 {
+		c.elemNames[len(c.elemNames)-1] = name
+	}
+}
+
+// ElemName returns the forensic name of element i: the builder-assigned
+// name when present, otherwise an auto tag derived from the element kind.
+func (c *Circuit) ElemName(i int) string {
+	if i < 0 || i >= len(c.elems) {
+		return "?"
+	}
+	if c.elemNames[i] != "" {
+		return c.elemNames[i]
+	}
+	kind := "elem"
+	switch c.elems[i].(type) {
+	case *resistor:
+		kind = "R"
+	case *capacitor:
+		kind = "C"
+	case *vsource:
+		kind = "V"
+	case *isource:
+		kind = "I"
+	case *mosfet:
+		kind = "M"
+	case *clamp:
+		kind = "clamp"
+	}
+	return fmt.Sprintf("%s#%d", kind, i)
+}
+
 // AddResistor adds a linear resistor between nodes a and b.
 func (c *Circuit) AddResistor(a, b NodeID, ohms float64) {
-	c.elems = append(c.elems, &resistor{a, b, ohms})
+	c.addElem(&resistor{a, b, ohms})
 }
 
 // AddCapacitor adds a linear capacitor between nodes a and b.
 func (c *Circuit) AddCapacitor(a, b NodeID, farads float64) {
-	c.elems = append(c.elems, &capacitor{a, b, farads})
+	c.addElem(&capacitor{a, b, farads})
 }
 
 // SourceFn gives a source value at time t (seconds). DC analyses evaluate it
@@ -141,7 +189,7 @@ func Pulse(v1, v2, delay, rise, fall, width, period float64) SourceFn {
 func (c *Circuit) AddVSource(pos, neg NodeID, fn SourceFn) int {
 	idx := c.nvsrc
 	c.nvsrc++
-	c.elems = append(c.elems, &vsource{pos, neg, idx, fn})
+	c.addElem(&vsource{pos, neg, idx, fn})
 	return idx
 }
 
@@ -149,7 +197,7 @@ func (c *Circuit) AddVSource(pos, neg NodeID, fn SourceFn) int {
 // "from" to node "to" (through the external circuit from "to" back to
 // "from").
 func (c *Circuit) AddISource(from, to NodeID, fn SourceFn) {
-	c.elems = append(c.elems, &isource{from, to, fn})
+	c.addElem(&isource{from, to, fn})
 }
 
 // AddClamp attaches a switchable conductance from the node toward a target
@@ -157,13 +205,13 @@ func (c *Circuit) AddISource(from, to NodeID, fn SourceFn) {
 // steer bistable feedback loops onto a stable branch during operating-point
 // analysis.
 func (c *Circuit) AddClamp(node NodeID, vtarget float64, g SourceFn) {
-	c.elems = append(c.elems, &clamp{node: node, vt: vtarget, g: g})
+	c.addElem(&clamp{node: node, vt: vtarget, g: g})
 }
 
 // AddMOSFET adds a FinFET with the given compact model between drain, gate,
 // source, and bulk nodes.
 func (c *Circuit) AddMOSFET(m *device.Model, d, g, s, b NodeID) {
-	c.elems = append(c.elems, &mosfet{m, d, g, s, b})
+	c.addElem(&mosfet{m, d, g, s, b})
 }
 
 // systemSize returns the MNA unknown count: node voltages plus source branch

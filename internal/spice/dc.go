@@ -12,22 +12,31 @@ import (
 )
 
 // ErrNoConvergence is returned when Newton iteration fails even with gmin
-// stepping and temperature continuation.
+// stepping and temperature continuation. Failed solves carry a
+// *ConvergenceError in their chain (see AsConvergenceError) with the full
+// forensic diagnosis.
 var ErrNoConvergence = errors.New("spice: operating point did not converge")
 
+// debugNewton opts the final Newton iterations into per-iteration trace
+// output. It is honored locally (obs.Log().Emitf) and deliberately does NOT
+// touch the global obs log level: a library init must not clobber the
+// user's -loglevel choice.
 var debugNewton = os.Getenv("SPICE_DEBUG") != ""
-
-func init() {
-	if debugNewton {
-		obs.SetLogLevel(obs.LogDebug)
-	}
-}
 
 const (
 	newtonTolV  = 1e-6
 	newtonMaxIt = 400
 	baseGmin    = 1e-12
 )
+
+// gminLadder is the gmin-continuation schedule: solve with a heavy
+// convergence-aid conductance and relax it rung by rung down to baseGmin.
+var gminLadder = [...]float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, baseGmin}
+
+// gminLadderFullDepth is the ladder-depth histogram value recorded when
+// every rung converged (a fully walked ladder); smaller observations mark
+// the rung at which the ladder died.
+const gminLadderFullDepth = float64(len(gminLadder))
 
 // dampFor returns the Newton trust region for a given temperature. At
 // cryogenic temperatures the subthreshold exponential steepens to a few
@@ -94,7 +103,10 @@ func (c *Circuit) opAt(t float64, prev []float64, dt float64, guess []float64) (
 		if err != nil {
 			sol, err = c.gminLadderFrom(t, prev, dt, temp, x)
 			if err != nil {
-				return nil, fmt.Errorf("%w (temperature continuation at %g K)", ErrNoConvergence, temp)
+				if ce := AsConvergenceError(err); ce != nil {
+					ce.Diag.Phase = PhaseTempContinuation
+				}
+				return nil, fmt.Errorf("%w (temperature continuation at %g K)", err, temp)
 			}
 		}
 		x = sol
@@ -117,21 +129,28 @@ func (c *Circuit) opAt(t float64, prev []float64, dt float64, guess []float64) (
 func (c *Circuit) gminLadderFrom(t float64, prev []float64, dt, temp float64, x0 []float64) ([]float64, error) {
 	obs.C("spice.gmin.ladders").Inc()
 	x := append([]float64(nil), x0...)
-	for depth, gmin := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, baseGmin} {
+	for depth, gmin := range gminLadder {
 		sol, err := c.newton(t, prev, dt, x, gmin, temp)
 		if err != nil {
 			obs.H("spice.gmin.ladder_depth").Observe(float64(depth + 1))
-			return nil, fmt.Errorf("%w (gmin=%g)", ErrNoConvergence, gmin)
+			obs.C("spice.gmin.exhausted").Inc()
+			if ce := AsConvergenceError(err); ce != nil {
+				ce.Diag.Phase = PhaseGminLadder
+			}
+			return nil, fmt.Errorf("%w (gmin=%g)", err, gmin)
 		}
 		x = sol
 		obs.C("spice.gmin.steps").Inc()
 	}
-	obs.H("spice.gmin.ladder_depth").Observe(9)
+	obs.H("spice.gmin.ladder_depth").Observe(gminLadderFullDepth)
 	return x, nil
 }
 
 // newton runs damped Newton-Raphson with a fixed gmin at the given
-// temperature.
+// temperature. While it iterates it keeps the trailing ringK iterations in
+// a fixed-size ring (maxDV and its node, worst residual and its row, gmin
+// rung, temperature); on failure the ring becomes the diagnosis of the
+// returned *ConvergenceError.
 func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gmin, temp float64) (sol []float64, err error) {
 	obs.C("spice.newton.solves").Inc()
 	iters := 0
@@ -149,8 +168,14 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 	b := make([]float64, n)
 	x := append([]float64(nil), x0...)
 
+	maxIt := c.MaxIter
+	if maxIt <= 0 {
+		maxIt = newtonMaxIt
+	}
+	var ring [ringK]iterRec
+
 	damp := dampFor(temp)
-	for it := 0; it < newtonMaxIt; it++ {
+	for it := 0; it < maxIt; it++ {
 		iters = it + 1
 		// Shrink the trust region if the iteration is slow to settle, which
 		// breaks limit cycles around high-impedance internal nodes.
@@ -174,25 +199,31 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 		// two-cycle at millivolt amplitude while carrying femtoamps; when
 		// every node balances to < 1 pA and every source constraint to
 		// < 1 nV, the point is a solution for all practical purposes.
-		if it > 0 {
-			ok := true
-			for i := 0; i < n && ok; i++ {
-				var r float64
-				for j := 0; j < n; j++ {
-					r += g.At(i, j) * x[j]
-				}
-				r -= b[i]
-				tol := 1e-12 // node row: amperes
-				if i >= nNode {
-					tol = 1e-9 // source row: volts
-				}
-				if math.Abs(r) > tol {
-					ok = false
-				}
+		// The scan doubles as the forensic residual probe: the row that is
+		// worst relative to its tolerance is the convergence bottleneck.
+		ok := it > 0
+		var worstResid float64
+		worstRow, worstScore := -1, 0.0
+		for i := 0; i < n; i++ {
+			var r float64
+			for j := 0; j < n; j++ {
+				r += g.At(i, j) * x[j]
 			}
-			if ok {
-				return x, nil
+			r -= b[i]
+			tol := 1e-12 // node row: amperes
+			if i >= nNode {
+				tol = 1e-9 // source row: volts
 			}
+			a := math.Abs(r)
+			if a > tol {
+				ok = false
+			}
+			if score := a / tol; score > worstScore {
+				worstScore, worstRow, worstResid = score, i, a
+			}
+		}
+		if ok {
+			return x, nil
 		}
 		xNew, err := linalg.SolveSystem(g, b)
 		if err != nil {
@@ -203,10 +234,12 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 		// judged on the full Newton proposal, not the clipped step, so a
 		// forcibly shrunk trust region cannot fake convergence.
 		var maxDV float64
+		dvRow := -1
 		for i := 0; i < nNode; i++ {
 			dv := xNew[i] - x[i]
 			if a := math.Abs(dv); a > maxDV {
 				maxDV = a
+				dvRow = i
 			}
 			if dv > damp {
 				dv = damp
@@ -218,12 +251,17 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 		for i := nNode; i < n; i++ {
 			x[i] = xNew[i]
 		}
+		ring[it%ringK] = iterRec{
+			it: it, maxDV: maxDV, dvRow: dvRow,
+			resid: worstResid, residRow: worstRow,
+			gmin: gmin, temp: temp,
+		}
 		if maxDV < newtonTolV {
 			return x, nil
 		}
-		if debugNewton && it > newtonMaxIt-20 {
-			obs.Log().Debugf("spice: newton it=%d temp=%g gmin=%g maxDV=%.3e x=%.4v", it, temp, gmin, maxDV, x)
+		if (debugNewton || obs.Log().DebugEnabled()) && it > maxIt-20 {
+			obs.Log().Emitf(obs.LogDebug, "spice: newton it=%d temp=%g gmin=%g maxDV=%.3e x=%.4v", it, temp, gmin, maxDV, x)
 		}
 	}
-	return nil, ErrNoConvergence
+	return nil, c.diagnose(&ring, iters, x, t, prev, dt, gmin, temp)
 }

@@ -112,6 +112,7 @@ func parseLine(c *Circuit, res *ParseResult, line string) error {
 			return err
 		}
 		c.AddResistor(c.Node(fields[1]), c.Node(fields[2]), v)
+		c.NameLast(fields[0])
 		return nil
 	case head[0] == 'C':
 		if len(fields) != 4 {
@@ -122,6 +123,7 @@ func parseLine(c *Circuit, res *ParseResult, line string) error {
 			return err
 		}
 		c.AddCapacitor(c.Node(fields[1]), c.Node(fields[2]), v)
+		c.NameLast(fields[0])
 		return nil
 	case head[0] == 'V', head[0] == 'I':
 		if len(fields) < 4 {
@@ -137,6 +139,7 @@ func parseLine(c *Circuit, res *ParseResult, line string) error {
 		} else {
 			c.AddISource(c.Node(fields[1]), c.Node(fields[2]), fn)
 		}
+		c.NameLast(fields[0])
 		return nil
 	case head[0] == 'M':
 		if len(fields) < 6 {
@@ -163,6 +166,7 @@ func parseLine(c *Circuit, res *ParseResult, line string) error {
 			return fmt.Errorf("unknown model %q", fields[5])
 		}
 		c.AddMOSFET(m, c.Node(fields[1]), c.Node(fields[2]), c.Node(fields[3]), c.Node(fields[4]))
+		c.NameLast(fields[0])
 		return nil
 	}
 	return fmt.Errorf("unrecognized card %q", fields[0])
