@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-diff bench-record paperbench cec clean
+.PHONY: build test race vet fmt check bench bench-diff bench-record paperbench microbench cec clean
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-enabled run of the packages with concurrency (obs registry, charlib
-# worker pool, cec fallback miter workers) plus the rest of the tree.
+# Race-enabled run of the packages with concurrency (obs registry, sparse
+# solver state, charlib worker pool, cec fallback miter workers) plus the
+# rest of the tree.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/charlib/... ./internal/synth/... ./internal/cec/... ./internal/qor/...
+	$(GO) test -race ./internal/obs/... ./internal/linalg/... ./internal/spice/... ./internal/charlib/... ./internal/synth/... ./internal/cec/... ./internal/qor/...
 
 # Equivalence-checker suite under the race detector (the parallel fallback
 # miter is the flow's most concurrent code path).
@@ -55,6 +56,10 @@ bench-diff:
 # Go microbenchmarks (the paper-benchmark target predating cryobench).
 paperbench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Linear-solver and op-point microbenchmarks (dense vs sparse vs refactor).
+microbench:
+	$(GO) test ./internal/linalg ./internal/spice -run xxx -bench . -benchmem -benchtime 100x
 
 clean:
 	rm -rf build

@@ -41,6 +41,7 @@ func main() {
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all in profile)")
 	testlibFlag := flag.Bool("testlib", true, "use the synthetic closed-form library (false: SPICE-characterized, cached)")
 	cacheDir := flag.String("cache", "build", "liberty cache directory for characterized corners")
+	workers := flag.Int("workers", 0, "characterization worker pool size with -testlib=false (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "output baseline path (default BENCH_<timestamp>.json)")
 	baselinePath := flag.String("baseline", "", "baseline to diff the fresh run against; exit 1 on QoR regression")
 	diffMode := flag.Bool("diff", false, "diff two recorded baselines: cryobench -diff <base.json> <cur.json>")
@@ -83,6 +84,7 @@ func main() {
 		ClockSec:   clockSec,
 		UseTestlib: *testlibFlag,
 		CacheDir:   *cacheDir,
+		Workers:    *workers,
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		Progress: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -28,6 +28,7 @@ func main() {
 	limit := flag.Int("limit", 0, "characterize only the first N cells (0 = all)")
 	compare := flag.Bool("compare", false, "characterize 300K and 10K and print Fig 2(a,b) distributions")
 	constraints := flag.Bool("constraints", false, "also measure setup/hold for edge-triggered flops (bisection; slower)")
+	workers := flag.Int("workers", 0, "bounded worker pool size for characterization (0 = GOMAXPROCS)")
 	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -48,12 +49,12 @@ func main() {
 	fmt.Printf("library: %d cells\n", len(cells))
 
 	if *compare {
-		lib300 := characterize(ctx, cells, 300, *cacheDir, "")
-		lib10 := characterize(ctx, cells, 10, *cacheDir, "")
+		lib300 := characterize(ctx, cells, 300, *cacheDir, "", *workers)
+		lib10 := characterize(ctx, cells, 10, *cacheDir, "", *workers)
 		printDistributions(lib300, lib10)
 		return
 	}
-	lib := characterize(ctx, cells, *temp, *cacheDir, *out)
+	lib := characterize(ctx, cells, *temp, *cacheDir, *out, *workers)
 	if *constraints {
 		measureConstraints(lib, cells, *temp)
 	}
@@ -84,8 +85,9 @@ func measureConstraints(lib *liberty.Library, cells []*pdk.Cell, temp float64) {
 	}
 }
 
-func characterize(ctx context.Context, cells []*pdk.Cell, temp float64, cacheDir, out string) *liberty.Library {
+func characterize(ctx context.Context, cells []*pdk.Cell, temp float64, cacheDir, out string, workers int) *liberty.Library {
 	cfg := charlib.DefaultConfig(temp)
+	cfg.Workers = workers
 	path := out
 	if path == "" {
 		path = charlib.DefaultCachePath(cacheDir, temp, len(cells))

@@ -69,14 +69,28 @@ func geometric(start, ratio float64, n int) []float64 {
 	return out
 }
 
+// workersOf resolves the configured worker count.
+func workersOf(cfg Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // CharacterizeCell measures one cell and returns its liberty view. The
 // context carries the parent observability span, if any.
 func CharacterizeCell(ctx context.Context, cell *pdk.Cell, cfg Config) (*liberty.Cell, error) {
+	return characterizeCell(ctx, cell, cfg, make(chan struct{}, workersOf(cfg)))
+}
+
+// characterizeCell measures one cell on a caller-provided bounded worker
+// pool, so a library run shares one pool across all its cells.
+func characterizeCell(ctx context.Context, cell *pdk.Cell, cfg Config, work chan struct{}) (*liberty.Cell, error) {
 	_, span := obs.Start(ctx, "charlib.cell")
 	span.SetAttr("cell", cell.Name)
 	defer span.End()
 	t0 := time.Now()
-	ch := &charer{cfg: cfg}
+	ch := &charer{cfg: cfg, work: work}
 	lc, err := ch.cell(cell)
 	obs.C("charlib.cells").Inc()
 	obs.H("charlib.cell.seconds").Observe(time.Since(t0).Seconds())
@@ -85,16 +99,19 @@ func CharacterizeCell(ctx context.Context, cell *pdk.Cell, cfg Config) (*liberty
 
 // CharacterizeLibrary measures all cells (in parallel) and assembles the
 // library. progress, when non-nil, is called after each finished cell.
+//
+// Two levels of bounded concurrency share one budget: up to Workers cells
+// are in flight, and their measurement units (grid rows, leakage states)
+// drain through one shared Workers-slot pool — so a single big cell keeps
+// every worker busy instead of serializing a corner, and a swarm of small
+// cells cannot oversubscribe the host.
 func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cfg Config, progress func(done, total int)) (*liberty.Library, error) {
 	ctx, span := obs.Start(ctx, "charlib.library")
 	span.SetAttr("library", name)
 	span.SetAttr("temp_k", cfg.TempK)
 	span.SetAttr("cells", len(cells))
 	defer span.End()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := workersOf(cfg)
 	lib := &liberty.Library{Name: name, TempK: cfg.TempK, Vdd: cfg.Vdd}
 	results := make([]*liberty.Cell, len(cells))
 	errs := make([]error, len(cells))
@@ -102,13 +119,14 @@ func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cf
 	var mu sync.Mutex
 	done := 0
 	sem := make(chan struct{}, workers)
+	work := make(chan struct{}, workers)
 	for i, c := range cells {
 		wg.Add(1)
 		go func(i int, c *pdk.Cell) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			lc, err := CharacterizeCell(ctx, c, cfg)
+			lc, err := characterizeCell(ctx, c, cfg, work)
 			results[i], errs[i] = lc, err
 			if progress != nil {
 				mu.Lock()
@@ -130,6 +148,24 @@ func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cf
 
 type charer struct {
 	cfg Config
+	// work is the shared bounded worker pool. Tokens are held only by leaf
+	// measurement units (a grid row's transient chain, one leakage state),
+	// never by anything that spawns more work — so the pool cannot
+	// deadlock however deep the fan-out nests.
+	work chan struct{}
+}
+
+// acquire takes a worker slot; release returns it.
+func (ch *charer) acquire() {
+	if ch.work != nil {
+		ch.work <- struct{}{}
+	}
+}
+
+func (ch *charer) release() {
+	if ch.work != nil {
+		<-ch.work
+	}
 }
 
 // newCircuit builds an empty circuit at the corner temperature with the
@@ -171,6 +207,16 @@ func (ch *charer) journalFailure(cell *pdk.Cell, arc string, slew, load float64,
 	j.Failure("charlib.arc", err.Error(), attrs, detail)
 }
 
+// arcResult carries one finished timing arc back to the assembly step.
+type arcResult struct {
+	tm  *liberty.Timing
+	pw  *liberty.InternalPower
+	err error
+}
+
+// cell measures every arc of the cell concurrently (each arc's grid rows
+// drain through the shared worker pool) and assembles the liberty view in
+// deterministic pin/arc order, independent of completion order.
 func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 	lc := &liberty.Cell{
 		Name:       cell.Name,
@@ -178,13 +224,15 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 		Sequential: cell.Seq,
 		ClockPin:   cell.Clock,
 	}
+	var wg sync.WaitGroup
+	var leak float64
+	var leakErr error
 	if !ch.cfg.SkipLeakage {
-		leak, err := ch.leakage(cell)
-		if err != nil {
-			ch.journalFailure(cell, "leakage", 0, 0, err)
-			return nil, fmt.Errorf("leakage: %w", err)
-		}
-		lc.LeakagePower = leak
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			leak, leakErr = ch.leakage(cell)
+		}()
 	}
 
 	for _, in := range cell.Inputs {
@@ -194,41 +242,89 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 			Cap:       cell.InputCap(in, ch.cfg.TempK),
 		})
 	}
+	// One result slot per (output pin, arc), filled concurrently.
+	type pinArcs struct {
+		pin  *liberty.Pin
+		ins  []string // related input per arc ("" for the clock arc)
+		res  []arcResult
+		seqQ bool
+	}
+	var plan []*pinArcs
 	for _, out := range cell.Outputs {
-		pin := &liberty.Pin{
-			Name:      out,
-			Direction: "output",
-			Function:  functionString(cell, out),
+		pa := &pinArcs{
+			pin: &liberty.Pin{
+				Name:      out,
+				Direction: "output",
+				Function:  functionString(cell, out),
+			},
+			seqQ: cell.Seq,
 		}
 		if cell.Seq {
-			t0 := time.Now()
-			tm, pw, err := ch.clockArc(cell, out)
-			if err != nil {
-				return nil, fmt.Errorf("clk->%s: %w", out, err)
-			}
-			obs.C("charlib.arcs").Inc()
-			obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
-			pin.Timings = append(pin.Timings, tm)
-			pin.Powers = append(pin.Powers, pw)
+			pa.ins = []string{cell.Clock}
+			pa.res = make([]arcResult, 1)
+			wg.Add(1)
+			go func(out string, slot *arcResult) {
+				defer wg.Done()
+				t0 := time.Now()
+				slot.tm, slot.pw, slot.err = ch.clockArc(cell, out)
+				if slot.err == nil {
+					obs.C("charlib.arcs").Inc()
+					obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
+				}
+			}(out, &pa.res[0])
 		} else {
+			type combSpec struct {
+				in     string
+				vec    int
+				o0, o1 bool
+			}
+			var specs []combSpec
 			for _, in := range cell.Inputs {
 				vec, o0, o1, ok := sensitizingVector(cell, in, out)
 				if !ok {
 					continue
 				}
-				t0 := time.Now()
-				tm, pw, err := ch.combArc(cell, in, out, vec, o0, o1)
-				if err != nil {
-					return nil, fmt.Errorf("%s->%s: %w", in, out, err)
-				}
-				obs.C("charlib.arcs").Inc()
-				obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
-				tm.Sense = senseOf(cell, in, out)
-				pin.Timings = append(pin.Timings, tm)
-				pin.Powers = append(pin.Powers, pw)
+				specs = append(specs, combSpec{in, vec, o0, o1})
+				pa.ins = append(pa.ins, in)
+			}
+			pa.res = make([]arcResult, len(specs))
+			for ai, sp := range specs {
+				wg.Add(1)
+				go func(sp combSpec, out string, slot *arcResult) {
+					defer wg.Done()
+					t0 := time.Now()
+					slot.tm, slot.pw, slot.err = ch.combArc(cell, sp.in, out, sp.vec, sp.o0, sp.o1)
+					if slot.err == nil {
+						obs.C("charlib.arcs").Inc()
+						obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
+						slot.tm.Sense = senseOf(cell, sp.in, out)
+					}
+				}(sp, out, &pa.res[ai])
 			}
 		}
-		lc.Pins = append(lc.Pins, pin)
+		plan = append(plan, pa)
+	}
+	wg.Wait()
+
+	// Deterministic error precedence matches the old sequential order:
+	// leakage first, then outputs in order, arcs in input order.
+	if leakErr != nil {
+		ch.journalFailure(cell, "leakage", 0, 0, leakErr)
+		return nil, fmt.Errorf("leakage: %w", leakErr)
+	}
+	lc.LeakagePower = leak
+	for _, pa := range plan {
+		for ai, r := range pa.res {
+			if r.err != nil {
+				if pa.seqQ {
+					return nil, fmt.Errorf("clk->%s: %w", pa.pin.Name, r.err)
+				}
+				return nil, fmt.Errorf("%s->%s: %w", pa.ins[ai], pa.pin.Name, r.err)
+			}
+			pa.pin.Timings = append(pa.pin.Timings, r.tm)
+			pa.pin.Powers = append(pa.pin.Powers, r.pw)
+		}
+		lc.Pins = append(lc.Pins, pa.pin)
 	}
 	return lc, nil
 }
@@ -343,21 +439,35 @@ func functionString(cell *pdk.Cell, out string) string {
 	return terms
 }
 
-// leakage returns the state-averaged static power of the cell.
+// leakage returns the state-averaged static power of the cell. The 2^n
+// input states are independent operating-point problems, so they drain
+// through the shared worker pool; the average is summed in state order to
+// keep the result bit-identical to a sequential sweep.
 func (ch *charer) leakage(cell *pdk.Cell) (float64, error) {
 	n := len(cell.Inputs)
 	if n > 6 {
 		return 0, fmt.Errorf("too many inputs")
 	}
+	count := 1 << uint(n)
+	powers := make([]float64, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for v := 0; v < count; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ch.acquire()
+			defer ch.release()
+			powers[v], errs[v] = ch.staticPower(cell, v)
+		}(v)
+	}
+	wg.Wait()
 	var sum float64
-	count := 0
-	for v := 0; v < 1<<uint(n); v++ {
-		p, err := ch.staticPower(cell, v)
-		if err != nil {
-			return 0, err
+	for v := 0; v < count; v++ {
+		if errs[v] != nil {
+			return 0, errs[v]
 		}
-		sum += p
-		count++
+		sum += powers[v]
 	}
 	return sum / float64(count), nil
 }

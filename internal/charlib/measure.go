@@ -2,6 +2,8 @@ package charlib
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/liberty"
 	"repro/internal/pdk"
@@ -14,10 +16,18 @@ type arcWaveform struct {
 	in     []float64 // stimulated input waveform
 	out    []float64 // measured output waveform
 	energy float64   // total supply energy over the event window (J)
+	op     []float64 // t=0 operating point: the next grid point's warm start
 }
 
 // combArc measures the full NLDM grid for one input->output arc of a
 // combinational cell, returning the timing and internal-power groups.
+//
+// Grid rows (fixed slew, sweeping load) run concurrently on the shared
+// worker pool. Within a row each solve is warm-started from the previous
+// load point's operating point — neighboring points differ only in load
+// capacitance, which is invisible at DC, so the seed is essentially exact
+// and Newton skips the gmin ladder. Each row chains deterministically, so
+// results are bit-identical to a sequential sweep.
 func (ch *charer) combArc(cell *pdk.Cell, in, out string, vec int, o0, o1 bool) (*liberty.Timing, *liberty.InternalPower, error) {
 	cfg := ch.cfg
 	tm := &liberty.Timing{
@@ -33,53 +43,82 @@ func (ch *charer) combArc(cell *pdk.Cell, in, out string, vec int, o0, o1 bool) 
 		FallPower:  liberty.NewTable(cfg.Slews, cfg.Loads),
 	}
 	arc := in + "->" + out
+	errs := make([]error, len(cfg.Slews))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
 	for i, slew := range cfg.Slews {
-		for j, load := range cfg.Loads {
-			rise, err := ch.runComb(cell, in, out, vec, true, slew, load)
-			if err != nil {
-				ch.journalFailure(cell, arc, slew, load, err)
-				return nil, nil, fmt.Errorf("slew=%g load=%g rise: %w", slew, load, err)
+		wg.Add(1)
+		go func(i int, slew float64) {
+			defer wg.Done()
+			ch.acquire()
+			defer ch.release()
+			var warmRise, warmFall []float64
+			for j, load := range cfg.Loads {
+				if failed.Load() {
+					return
+				}
+				rise, err := ch.runComb(cell, in, out, vec, true, slew, load, warmRise)
+				if err != nil {
+					ch.journalFailure(cell, arc, slew, load, err)
+					errs[i] = fmt.Errorf("slew=%g load=%g rise: %w", slew, load, err)
+					failed.Store(true)
+					return
+				}
+				warmRise = rise.op
+				fall, err := ch.runComb(cell, in, out, vec, false, slew, load, warmFall)
+				if err != nil {
+					ch.journalFailure(cell, arc, slew, load, err)
+					errs[i] = fmt.Errorf("slew=%g load=%g fall: %w", slew, load, err)
+					failed.Store(true)
+					return
+				}
+				warmFall = fall.op
+				// Input rising waveform produces output rise when o1 is true
+				// (positive behavior at this vector); otherwise output falls.
+				outRiseWf, outFallWf := rise, fall
+				if !o1 {
+					outRiseWf, outFallWf = fall, rise
+				}
+				dRise, trRise, err := measureDelay(outRiseWf, cfg.Vdd, true)
+				if err != nil {
+					ch.journalFailure(cell, arc, slew, load, err)
+					errs[i] = fmt.Errorf("slew=%g load=%g output-rise: %w", slew, load, err)
+					failed.Store(true)
+					return
+				}
+				dFall, trFall, err := measureDelay(outFallWf, cfg.Vdd, false)
+				if err != nil {
+					ch.journalFailure(cell, arc, slew, load, err)
+					errs[i] = fmt.Errorf("slew=%g load=%g output-fall: %w", slew, load, err)
+					failed.Store(true)
+					return
+				}
+				tm.CellRise.Values[i][j] = dRise
+				tm.RiseTrans.Values[i][j] = trRise
+				tm.CellFall.Values[i][j] = dFall
+				tm.FallTrans.Values[i][j] = trFall
+				// Internal energy: the supply delivers Cload*Vdd^2 to charge the
+				// load on output-rise events; everything beyond that is internal
+				// (short-circuit + internal node) energy. On output-fall events
+				// the load discharges through the pull-down, so the entire
+				// supply draw is internal.
+				eRise := outRiseWf.energy - load*cfg.Vdd*cfg.Vdd
+				if eRise < 0 {
+					eRise = 0
+				}
+				eFall := outFallWf.energy
+				if eFall < 0 {
+					eFall = 0
+				}
+				pw.RisePower.Values[i][j] = eRise
+				pw.FallPower.Values[i][j] = eFall
 			}
-			fall, err := ch.runComb(cell, in, out, vec, false, slew, load)
-			if err != nil {
-				ch.journalFailure(cell, arc, slew, load, err)
-				return nil, nil, fmt.Errorf("slew=%g load=%g fall: %w", slew, load, err)
-			}
-			// Input rising waveform produces output rise when o1 is true
-			// (positive behavior at this vector); otherwise output falls.
-			outRiseWf, outFallWf := rise, fall
-			if !o1 {
-				outRiseWf, outFallWf = fall, rise
-			}
-			dRise, trRise, err := measureDelay(outRiseWf, cfg.Vdd, true)
-			if err != nil {
-				ch.journalFailure(cell, arc, slew, load, err)
-				return nil, nil, fmt.Errorf("slew=%g load=%g output-rise: %w", slew, load, err)
-			}
-			dFall, trFall, err := measureDelay(outFallWf, cfg.Vdd, false)
-			if err != nil {
-				ch.journalFailure(cell, arc, slew, load, err)
-				return nil, nil, fmt.Errorf("slew=%g load=%g output-fall: %w", slew, load, err)
-			}
-			tm.CellRise.Values[i][j] = dRise
-			tm.RiseTrans.Values[i][j] = trRise
-			tm.CellFall.Values[i][j] = dFall
-			tm.FallTrans.Values[i][j] = trFall
-			// Internal energy: the supply delivers Cload*Vdd^2 to charge the
-			// load on output-rise events; everything beyond that is internal
-			// (short-circuit + internal node) energy. On output-fall events
-			// the load discharges through the pull-down, so the entire
-			// supply draw is internal.
-			eRise := outRiseWf.energy - load*cfg.Vdd*cfg.Vdd
-			if eRise < 0 {
-				eRise = 0
-			}
-			eFall := outFallWf.energy
-			if eFall < 0 {
-				eFall = 0
-			}
-			pw.RisePower.Values[i][j] = eRise
-			pw.FallPower.Values[i][j] = eFall
+		}(i, slew)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	return tm, pw, nil
@@ -87,8 +126,9 @@ func (ch *charer) combArc(cell *pdk.Cell, in, out string, vec int, o0, o1 bool) 
 
 // runComb builds and simulates one combinational measurement: the target
 // input ramps (rising or falling) while side inputs hold the sensitizing
-// vector.
-func (ch *charer) runComb(cell *pdk.Cell, in, out string, vec int, inputRises bool, slew, load float64) (*arcWaveform, error) {
+// vector. warm, when non-nil, seeds the initial operating-point solve from
+// the previous load point on the same grid row (see TransientFrom).
+func (ch *charer) runComb(cell *pdk.Cell, in, out string, vec int, inputRises bool, slew, load float64, warm []float64) (*arcWaveform, error) {
 	cfg := ch.cfg
 	c := ch.newCircuit()
 	vddN := c.Node("vdd")
@@ -131,7 +171,7 @@ func (ch *charer) runComb(cell *pdk.Cell, in, out string, vec int, inputRises bo
 	tstop := t0 + ramp + 250e-12
 	for attempt := 0; ; attempt++ {
 		dt := tstop / 600
-		wf, err := c.Transient(tstop, dt)
+		wf, err := c.TransientFrom(warm, tstop, dt)
 		if err != nil {
 			return nil, err
 		}
@@ -147,6 +187,7 @@ func (ch *charer) runComb(cell *pdk.Cell, in, out string, vec int, inputRises bo
 				in:     wf.V("in_" + in),
 				out:    outV,
 				energy: wf.SupplyEnergy(br, supply),
+				op:     wf.InitialOp(),
 			}, nil
 		}
 		tstop *= 2
@@ -203,19 +244,41 @@ func (ch *charer) clockArc(cell *pdk.Cell, out string) (*liberty.Timing, *libert
 		RisePower:  liberty.NewTable(cfg.Slews, cfg.Loads),
 		FallPower:  liberty.NewTable(cfg.Slews, cfg.Loads),
 	}
+	errs := make([]error, len(cfg.Slews))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
 	for i, slew := range cfg.Slews {
-		for j, load := range cfg.Loads {
-			res, err := ch.runClock(cell, out, slew, load)
-			if err != nil {
-				ch.journalFailure(cell, cell.Clock+"->"+out, slew, load, err)
-				return nil, nil, fmt.Errorf("slew=%g load=%g: %w", slew, load, err)
+		wg.Add(1)
+		go func(i int, slew float64) {
+			defer wg.Done()
+			ch.acquire()
+			defer ch.release()
+			var warm []float64
+			for j, load := range cfg.Loads {
+				if failed.Load() {
+					return
+				}
+				res, err := ch.runClock(cell, out, slew, load, warm)
+				if err != nil {
+					ch.journalFailure(cell, cell.Clock+"->"+out, slew, load, err)
+					errs[i] = fmt.Errorf("slew=%g load=%g: %w", slew, load, err)
+					failed.Store(true)
+					return
+				}
+				warm = res.op
+				tm.CellRise.Values[i][j] = res.dRise
+				tm.CellFall.Values[i][j] = res.dFall
+				tm.RiseTrans.Values[i][j] = res.trRise
+				tm.FallTrans.Values[i][j] = res.trFall
+				pw.RisePower.Values[i][j] = res.eRise
+				pw.FallPower.Values[i][j] = res.eFall
 			}
-			tm.CellRise.Values[i][j] = res.dRise
-			tm.CellFall.Values[i][j] = res.dFall
-			tm.RiseTrans.Values[i][j] = res.trRise
-			tm.FallTrans.Values[i][j] = res.trFall
-			pw.RisePower.Values[i][j] = res.eRise
-			pw.FallPower.Values[i][j] = res.eFall
+		}(i, slew)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	return tm, pw, nil
@@ -223,11 +286,13 @@ func (ch *charer) clockArc(cell *pdk.Cell, out string) (*liberty.Timing, *libert
 
 type clockResult struct {
 	dRise, dFall, trRise, trFall, eRise, eFall float64
+	op                                         []float64
 }
 
 // runClock simulates a 3-edge capture sequence and extracts CLK->Q metrics
-// at the 2nd (Q rise) and 3rd (Q fall) active edges.
-func (ch *charer) runClock(cell *pdk.Cell, out string, slew, load float64) (*clockResult, error) {
+// at the 2nd (Q rise) and 3rd (Q fall) active edges. warm seeds the initial
+// operating point from the previous load point on the same slew row.
+func (ch *charer) runClock(cell *pdk.Cell, out string, slew, load float64, warm []float64) (*clockResult, error) {
 	cfg := ch.cfg
 	c := ch.newCircuit()
 	vddN := c.Node("vdd")
@@ -294,7 +359,7 @@ func (ch *charer) runClock(cell *pdk.Cell, out string, slew, load float64) (*clo
 		return nil, err
 	}
 	tstop := 3*period + period
-	wf, err := c.Transient(tstop, tstop/2400)
+	wf, err := c.TransientFrom(warm, tstop, tstop/2400)
 	if err != nil {
 		return nil, err
 	}
@@ -353,5 +418,6 @@ func (ch *charer) runClock(cell *pdk.Cell, out string, slew, load float64) (*clo
 		dRise: qRise - clkEdge2, dFall: qFall - clkEdge3,
 		trRise: trRise / 0.6, trFall: trFall / 0.6,
 		eRise: eRise, eFall: eFall,
+		op: wf.InitialOp(),
 	}, nil
 }

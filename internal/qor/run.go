@@ -31,6 +31,10 @@ type RunOptions struct {
 	// synthetic ones (the CI configuration).
 	UseTestlib bool
 	CacheDir   string // liberty cache dir for characterized corners
+	// Workers bounds the characterization worker pool when corners are
+	// SPICE-characterized (0 = GOMAXPROCS). Does not affect the QoR metrics
+	// or the cache key — only wall-clock.
+	Workers int
 	// CreatedAt stamps the baseline (left empty for golden-stable output).
 	CreatedAt string
 	// Progress, when non-nil, receives human-readable progress lines.
@@ -187,11 +191,13 @@ func loadCorners(ctx context.Context, opt RunOptions) ([]cornerLib, error) {
 			if cacheDir == "" {
 				cacheDir = "build"
 			}
+			cfg := charlib.DefaultConfig(temp)
+			cfg.Workers = opt.Workers
 			var err error
 			lib, err = charlib.CharacterizeLibraryCached(ctx,
 				charlib.DefaultCachePath(cacheDir, temp, len(catalog)),
 				fmt.Sprintf("cryo%gk", temp), catalog,
-				charlib.DefaultConfig(temp), nil)
+				cfg, nil)
 			if err != nil {
 				return nil, fmt.Errorf("qor: characterizing %g K corner: %w", temp, err)
 			}

@@ -25,12 +25,17 @@ type Circuit struct {
 	// MaxIter caps Newton iterations per solve attempt; 0 uses the solver
 	// default. A deliberately tiny cap is the supported way to force
 	// nonconvergence diagnostics (forensics tests, failure drills).
-	MaxIter   int
+	MaxIter int
+	// Solver selects the linear-solver backend (default SolverAuto: sparse
+	// with reusable symbolic factorization, dense for tiny systems).
+	// SolverDense is the cross-check oracle.
+	Solver    SolverKind
 	names     []string
 	index     map[string]NodeID
 	elems     []element
 	elemNames []string // per-element names ("" = auto, see ElemName)
 	nvsrc     int
+	solver    *solverState // lazily built, invalidated on topology change
 }
 
 // New returns an empty circuit that will be simulated at the given

@@ -1,0 +1,112 @@
+package spice_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pdk"
+	"repro/internal/spice"
+)
+
+// buildCellCircuit instantiates one PDK cell at 10 K with DC inputs set from
+// vec, mirroring the characterization leakage setup. Sequential cells get a
+// permanent symmetry-breaking clamp on their state nodes so the operating
+// point sits on a definite, well-conditioned branch — this test compares
+// solver backends, not bistable branch selection.
+func buildCellCircuit(t *testing.T, cell *pdk.Cell, vec int, kind spice.SolverKind) *spice.Circuit {
+	t.Helper()
+	const vdd = 0.55
+	c := spice.New(10)
+	c.Solver = kind
+	vddN := c.Node("vdd")
+	c.AddVSource(vddN, spice.Ground, spice.DC(vdd))
+	pins := map[string]spice.NodeID{}
+	for i, in := range cell.Inputs {
+		node := c.Node("in_" + in)
+		pins[in] = node
+		v := 0.0
+		if vec&(1<<uint(i)) != 0 {
+			v = vdd
+		}
+		c.AddVSource(node, spice.Ground, spice.DC(v))
+	}
+	for _, out := range cell.Outputs {
+		pins[out] = c.Node("out_" + out)
+	}
+	if err := cell.Build(c, "dut", pins, vddN); err != nil {
+		t.Fatalf("%s: build: %v", cell.Name, err)
+	}
+	if cell.Seq {
+		for _, state := range []string{"mi", "si", "li"} {
+			if id, ok := c.LookupNode("dut." + state); ok {
+				c.AddClamp(id, 0, spice.DC(0.05))
+			}
+		}
+	}
+	// A 1 GΩ leak on every node bounds the Jacobian condition number.
+	// Nodes inside OFF tristate stacks otherwise sit on a gmin-scale
+	// (1e-12 S) diagonal, and at condition numbers near 1e12 the two
+	// backends' rounding differs above the 1e-9 V comparison bar for
+	// reasons that have nothing to do with solver correctness.
+	for id := 0; id < c.NumNodes(); id++ {
+		c.AddResistor(spice.NodeID(id), spice.Ground, 1e9)
+	}
+	return c
+}
+
+// TestDenseSparseCrossCheck solves the DC operating point of every base cell
+// in the PDK with both linear-solver backends and requires the node voltages
+// to agree to 1e-9 V — the dense path is the oracle for the sparse LU with
+// symbolic reuse. One drive strength per base suffices: drive variants scale
+// device widths without changing the sparsity pattern.
+func TestDenseSparseCrossCheck(t *testing.T) {
+	seen := map[string]bool{}
+	for _, cell := range pdk.Catalog() {
+		if seen[cell.Base] {
+			continue
+		}
+		seen[cell.Base] = true
+		vecs := []int{0, 1<<uint(len(cell.Inputs)) - 1}
+		for _, vec := range vecs {
+			dense := buildCellCircuit(t, cell, vec, spice.SolverDense)
+			sparse := buildCellCircuit(t, cell, vec, spice.SolverSparse)
+			// Converge once with the dense oracle, then re-solve both
+			// backends from that shared seed. Quasi-floating internal nodes
+			// (femtoamp currents through OFF stacks) are only pinned to the
+			// Newton tolerance, so two independent solves may differ at the
+			// 1e-6 level; from a shared converged seed the Newton paths are
+			// identical and any disagreement is the linear solver's.
+			seed, err := dense.OpPoint()
+			if err != nil {
+				t.Fatalf("%s vec=%d: dense op point: %v", cell.Name, vec, err)
+			}
+			xd, err := dense.OpPointFrom(seed)
+			if err != nil {
+				t.Fatalf("%s vec=%d: dense re-solve: %v", cell.Name, vec, err)
+			}
+			xs, err := sparse.OpPointFrom(seed)
+			if err != nil {
+				t.Fatalf("%s vec=%d: sparse op point: %v", cell.Name, vec, err)
+			}
+			if len(xd) != len(xs) {
+				t.Fatalf("%s vec=%d: system size mismatch %d vs %d", cell.Name, vec, len(xd), len(xs))
+			}
+			for i := range xd {
+				if d := math.Abs(xd[i] - xs[i]); d > 1e-9 {
+					t.Errorf("%s vec=%d: unknown %d (%s) differs by %.3e (dense %.12f sparse %.12f)",
+						cell.Name, vec, i, nodeLabel(dense, i), d, xd[i], xs[i])
+				}
+			}
+		}
+	}
+	if len(seen) < 50 {
+		t.Fatalf("cross-check covered only %d base cells; catalog shrank?", len(seen))
+	}
+}
+
+func nodeLabel(c *spice.Circuit, i int) string {
+	if i < c.NumNodes() {
+		return c.NodeName(spice.NodeID(i))
+	}
+	return "branch"
+}

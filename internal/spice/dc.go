@@ -7,7 +7,6 @@ import (
 	"os"
 
 	"repro/internal/constants"
-	"repro/internal/linalg"
 	"repro/internal/obs"
 )
 
@@ -164,8 +163,8 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 	}()
 	n := c.systemSize()
 	nNode := len(c.names)
-	g := linalg.NewMatrix(n)
-	b := make([]float64, n)
+	st := c.solverFor()
+	b := st.b
 	x := append([]float64(nil), x0...)
 
 	maxIt := c.MaxIter
@@ -182,17 +181,15 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 		if it > 0 && it%60 == 0 {
 			damp *= 0.5
 		}
-		g.Zero()
-		for i := range b {
-			b[i] = 0
-		}
-		ctx := &stampCtx{g: g, b: b, x: x, prev: prev, time: t, dt: dt, nNode: nNode, gmin: gmin, temp: temp}
+		mat := st.beginStamp(dt > 0)
+		ctx := &stampCtx{g: mat, b: b, x: x, prev: prev, time: t, dt: dt, nNode: nNode, gmin: gmin, temp: temp}
 		for _, e := range c.elems {
 			e.stamp(ctx)
 		}
 		for i := 0; i < nNode; i++ {
-			g.Add(i, i, gmin)
+			mat.Add(i, i, gmin)
 		}
+		st.endStamp(dt > 0)
 		// Residual acceptance: at the expansion point the Newton companion
 		// currents equal the true nonlinear currents, so G*x - b is the
 		// exact KCL/KVL residual. Floating nodes between OFF devices can
@@ -201,15 +198,13 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 		// < 1 nV, the point is a solution for all practical purposes.
 		// The scan doubles as the forensic residual probe: the row that is
 		// worst relative to its tolerance is the convergence bottleneck.
+		// The matvec is O(nnz) on the sparse path, not O(n²).
+		st.mulVecInto(st.resid, x)
 		ok := it > 0
 		var worstResid float64
 		worstRow, worstScore := -1, 0.0
 		for i := 0; i < n; i++ {
-			var r float64
-			for j := 0; j < n; j++ {
-				r += g.At(i, j) * x[j]
-			}
-			r -= b[i]
+			r := st.resid[i] - b[i]
 			tol := 1e-12 // node row: amperes
 			if i >= nNode {
 				tol = 1e-9 // source row: volts
@@ -225,10 +220,10 @@ func (c *Circuit) newton(t float64, prev []float64, dt float64, x0 []float64, gm
 		if ok {
 			return x, nil
 		}
-		xNew, err := linalg.SolveSystem(g, b)
-		if err != nil {
+		if err := st.solve(); err != nil {
 			return nil, err
 		}
+		xNew := st.xNew
 		// Damping: limit per-node voltage moves to keep the exponential
 		// device model inside its linearization trust region. Convergence is
 		// judged on the full Newton proposal, not the clipped step, so a

@@ -1,0 +1,249 @@
+package spice
+
+import (
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/obs"
+)
+
+// SolverKind selects the linear-solver backend for a circuit's MNA system.
+type SolverKind int
+
+const (
+	// SolverAuto uses the sparse solver except for tiny systems, where the
+	// dense path's lower constant wins.
+	SolverAuto SolverKind = iota
+	// SolverDense forces dense LU — the cross-check oracle.
+	SolverDense
+	// SolverSparse forces sparse LU regardless of size.
+	SolverSparse
+)
+
+// denseCutoff is the auto-mode system size at or below which dense LU is
+// used: below ~8 unknowns the sparse bookkeeping costs more than it saves.
+const denseCutoff = 8
+
+// pivotTau is the threshold-pivoting relaxation for the sparse LU: rows
+// within 10% of the column maximum are acceptable pivots, letting the
+// Markowitz tie-break pick the sparsest. MNA systems carry gmin on every
+// node diagonal, so this is comfortably stable.
+const pivotTau = 0.1
+
+// solverState is the per-circuit solver scratch: the assembled matrix (one
+// backend), the reusable factorization, and the vectors the Newton loop
+// writes into. It is rebuilt whenever the circuit's topology (element count
+// or unknown count) changes, which freezes the sparsity pattern per
+// topology exactly once.
+type solverState struct {
+	n, nNode int
+	nelems   int
+	kind     SolverKind
+	dense    bool
+
+	gd *linalg.Matrix // dense backend
+	sp *linalg.Sparse // sparse backend (compiled pattern)
+	lu *linalg.SparseLU
+
+	// seq[mode] is the recorded slot sequence of one full stamping pass —
+	// the per-topology index map. Element stamp order and each element's
+	// Add-call sequence depend only on topology and the analysis mode
+	// (mode 1: transient, capacitor companions active; mode 0: DC), never
+	// on values, so after one recording pass every stamp resolves to an
+	// O(1) indexed add instead of a binary search in the CSC column.
+	seq      [2][]int32
+	recorder seqRecorder
+	replayer seqReplayer
+
+	b     []float64 // right-hand side
+	resid []float64 // G*x scratch for the residual scan
+	xNew  []float64 // Newton proposal
+}
+
+// seqRecorder resolves stamps against the compiled pattern by binary search
+// and records the slot order for replay.
+type seqRecorder struct {
+	sp  *linalg.Sparse
+	seq []int32
+}
+
+func (r *seqRecorder) Add(i, j int, v float64) {
+	s := r.sp.Slot(i, j)
+	r.seq = append(r.seq, int32(s))
+	r.sp.Vals[s] += v
+}
+
+// seqReplayer replays a recorded slot sequence: each Add consumes the next
+// slot. A k that runs past the sequence means an element stamped a
+// value-dependent pattern — a bug; endStamp catches it.
+type seqReplayer struct {
+	sp  *linalg.Sparse
+	seq []int32
+	k   int
+}
+
+func (r *seqReplayer) Add(i, j int, v float64) {
+	r.sp.Vals[r.seq[r.k]] += v
+	r.k++
+}
+
+// beginStamp clears the system and returns the matrix to stamp into.
+// Sparse circuits record the slot sequence on the first pass for the mode
+// (tran: capacitor companions active) and replay it afterwards; the caller
+// must finish the pass with endStamp.
+func (st *solverState) beginStamp(tran bool) mnaMatrix {
+	st.zeroSystem()
+	if st.dense {
+		return st.gd
+	}
+	mode := 0
+	if tran {
+		mode = 1
+	}
+	if st.seq[mode] == nil {
+		st.recorder = seqRecorder{sp: st.sp}
+		return &st.recorder
+	}
+	st.replayer = seqReplayer{sp: st.sp, seq: st.seq[mode]}
+	return &st.replayer
+}
+
+// endStamp commits a recording pass or verifies a replay consumed exactly
+// the recorded sequence.
+func (st *solverState) endStamp(tran bool) {
+	if st.dense {
+		return
+	}
+	mode := 0
+	if tran {
+		mode = 1
+	}
+	if st.seq[mode] == nil {
+		st.seq[mode] = st.recorder.seq
+		st.recorder = seqRecorder{}
+		return
+	}
+	if st.replayer.k != len(st.replayer.seq) {
+		panic("spice: stamp sequence diverged from recorded pattern — value-dependent stamping?")
+	}
+}
+
+// zeroSystem clears the matrix (O(nnz) on the sparse path) and RHS.
+func (st *solverState) zeroSystem() {
+	if st.dense {
+		st.gd.Zero()
+	} else {
+		st.sp.Zero()
+	}
+	for i := range st.b {
+		st.b[i] = 0
+	}
+}
+
+// mulVecInto computes dst = G*x on whichever backend is active.
+func (st *solverState) mulVecInto(dst, x []float64) {
+	if st.dense {
+		st.gd.MulVecInto(dst, x)
+	} else {
+		st.sp.MulVecInto(dst, x)
+	}
+}
+
+// patternRecorder adapts linalg.Pattern to the stamp interface so one
+// discovery pass over the elements yields the full sparsity pattern.
+type patternRecorder struct{ p *linalg.Pattern }
+
+func (r patternRecorder) Add(i, j int, _ float64) { r.p.Add(i, j) }
+
+// solverFor returns the circuit's solver state, (re)building it when the
+// topology changed since the last solve. Building the sparse state runs one
+// pattern-discovery stamp with every conditional element forced on (dt > 0
+// for capacitor companions, clamps enabled), so the compiled pattern is a
+// superset of anything any analysis mode will ever write.
+func (c *Circuit) solverFor() *solverState {
+	n := c.systemSize()
+	if st := c.solver; st != nil && st.n == n && st.nelems == len(c.elems) && st.kind == c.Solver {
+		return st
+	}
+	nNode := len(c.names)
+	st := &solverState{
+		n: n, nNode: nNode, nelems: len(c.elems), kind: c.Solver,
+		b:     make([]float64, n),
+		resid: make([]float64, n),
+		xNew:  make([]float64, n),
+	}
+	st.dense = c.Solver == SolverDense || (c.Solver == SolverAuto && n <= denseCutoff)
+	if st.dense {
+		st.gd = linalg.NewMatrix(n)
+		obs.C("spice.solver.dense_builds").Inc()
+	} else {
+		pat := linalg.NewPattern(n)
+		zero := make([]float64, n)
+		ctx := &stampCtx{
+			g: patternRecorder{pat}, b: st.b, x: zero, prev: zero,
+			time: 0, dt: 1e-12, nNode: nNode, temp: c.Temp,
+		}
+		for _, e := range c.elems {
+			e.stamp(ctx)
+		}
+		// The gmin convergence aid lands on every node diagonal.
+		for i := 0; i < nNode; i++ {
+			pat.Add(i, i)
+		}
+		st.sp = pat.Compile()
+		for i := range st.b {
+			st.b[i] = 0
+		}
+		obs.C("spice.solver.pattern_builds").Inc()
+	}
+	c.solver = st
+	return st
+}
+
+// solve factors the assembled system and solves it into st.xNew. On the
+// sparse path the symbolic factorization is computed once per pattern and
+// reused via in-place numeric refactorization; a pivot that drifted
+// numerically triggers one full re-pivot before giving up.
+func (st *solverState) solve() error {
+	if st.dense {
+		f, err := linalg.Factor(st.gd)
+		if err != nil {
+			return err
+		}
+		copy(st.xNew, f.Solve(st.b))
+		return nil
+	}
+	metrics := obs.MetricsEnabled()
+	var t0 time.Time
+	if metrics {
+		t0 = time.Now()
+	}
+	if st.lu == nil {
+		lu, err := st.sp.Factor(pivotTau)
+		if err != nil {
+			return err
+		}
+		st.lu = lu
+		obs.C("spice.solver.symbolic.builds").Inc()
+		obs.G("spice.solver.fillin").Set(float64(lu.FillIn()))
+	} else if err := st.lu.Refactor(); err != nil {
+		obs.C("spice.solver.repivots").Inc()
+		lu, err2 := st.sp.Factor(pivotTau)
+		if err2 != nil {
+			return err2
+		}
+		st.lu = lu
+		obs.G("spice.solver.fillin").Set(float64(lu.FillIn()))
+	} else {
+		obs.C("spice.solver.symbolic.reuse").Inc()
+	}
+	if metrics {
+		obs.H("spice.solver.factor.seconds").Observe(time.Since(t0).Seconds())
+		t0 = time.Now()
+	}
+	st.lu.SolveInto(st.xNew, st.b)
+	if metrics {
+		obs.H("spice.solver.solve.seconds").Observe(time.Since(t0).Seconds())
+	}
+	return nil
+}

@@ -2,20 +2,27 @@ package spice
 
 import (
 	"repro/internal/device"
-	"repro/internal/linalg"
 )
+
+// mnaMatrix is the matrix interface elements stamp through: the dense
+// linalg.Matrix, the sparse linalg.Sparse (writes resolve against the
+// circuit's compiled sparsity pattern), and the pattern recorder that
+// discovers that pattern all satisfy it.
+type mnaMatrix interface {
+	Add(i, j int, v float64)
+}
 
 // stampCtx carries the MNA system being assembled for one Newton iteration.
 type stampCtx struct {
-	g     *linalg.Matrix // conductance/incidence matrix
-	b     []float64      // right-hand side
-	x     []float64      // current Newton iterate (node voltages + branch currents)
-	prev  []float64      // previous-timestep solution (nil for DC)
-	time  float64        // current time (s); 0 for DC
-	dt    float64        // timestep (s); 0 for DC
-	nNode int            // number of node-voltage unknowns
-	gmin  float64        // convergence-aid conductance to ground
-	temp  float64        // simulation temperature (K)
+	g     mnaMatrix // conductance/incidence matrix
+	b     []float64 // right-hand side
+	x     []float64 // current Newton iterate (node voltages + branch currents)
+	prev  []float64 // previous-timestep solution (nil for DC)
+	time  float64   // current time (s); 0 for DC
+	dt    float64   // timestep (s); 0 for DC
+	nNode int       // number of node-voltage unknowns
+	gmin  float64   // convergence-aid conductance to ground
+	temp  float64   // simulation temperature (K)
 }
 
 // volt returns the voltage of a node in the solution vector x.
@@ -107,10 +114,14 @@ type clamp struct {
 }
 
 func (cl *clamp) stamp(ctx *stampCtx) {
-	g := cl.g(ctx.time)
-	if g == 0 || cl.node == Ground {
+	if cl.node == Ground {
 		return
 	}
+	// Stamp unconditionally, even when g(t) = 0: the Add-call sequence of
+	// every element must depend only on topology and analysis mode so the
+	// recorded slot sequence (solverState.seq) replays exactly. Adding a
+	// zero is free; branching on the value would derail the replay.
+	g := cl.g(ctx.time)
 	ctx.g.Add(int(cl.node), int(cl.node), g)
 	ctx.b[cl.node] += g * cl.vt
 }

@@ -14,10 +14,21 @@ type Waveform struct {
 // timestep. The initial condition is the DC operating point with the sources
 // evaluated at t = 0.
 func (c *Circuit) Transient(tstop, dt float64) (*Waveform, error) {
+	return c.TransientFrom(nil, tstop, dt)
+}
+
+// TransientFrom is Transient with the initial operating-point solve seeded
+// from guess — the characterization warm start: neighboring sweep points
+// share (or nearly share) their DC state, so seeding skips most of the gmin
+// ladder. A guess of the wrong length (or nil) is ignored.
+func (c *Circuit) TransientFrom(guess []float64, tstop, dt float64) (*Waveform, error) {
 	if dt <= 0 || tstop <= 0 {
 		return nil, fmt.Errorf("spice: invalid transient window tstop=%g dt=%g", tstop, dt)
 	}
-	x, err := c.OpPoint()
+	if len(guess) != c.systemSize() {
+		guess = nil
+	}
+	x, err := c.opAt(0, nil, 0, guess)
 	if err != nil {
 		return nil, fmt.Errorf("spice: initial operating point: %w", err)
 	}
@@ -54,6 +65,16 @@ func (c *Circuit) Transient(tstop, dt float64) (*Waveform, error) {
 		x = next
 	}
 	return wf, nil
+}
+
+// InitialOp returns a copy of the t = 0 operating-point solution vector —
+// the warm-start seed a neighboring sweep point passes to TransientFrom
+// when the circuits share node ordering (same builder, different values).
+func (w *Waveform) InitialOp() []float64 {
+	if len(w.samples) == 0 {
+		return nil
+	}
+	return append([]float64(nil), w.samples[0]...)
 }
 
 // V returns the voltage waveform at the named node.
