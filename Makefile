@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-diff bench-record paperbench microbench cec clean
+.PHONY: build test race vet fmt check bench bench-diff bench-record explain paperbench microbench cec clean
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,17 @@ bench-diff:
 	@set -- $$(ls -t BENCH_*.json build/BENCH_*.json 2>/dev/null | head -2); \
 	if [ $$# -lt 2 ]; then echo "need two BENCH_*.json recordings"; exit 1; fi; \
 	echo "diffing $$2 (base) vs $$1 (current)"; \
-	$(GO) run ./cmd/cryobench -diff "$$2" "$$1"
+	$(GO) run ./cmd/cryobench -diff -explain "$$2" "$$1"
+
+# Attribution self-diff smoke (docs/EXPLAIN.md): diffing the committed
+# baseline against itself must attribute zero delta.
+explain:
+	@mkdir -p build
+	$(GO) run ./cmd/cryobench -diff -explain \
+		-explain-json build/self-explain.json \
+		bench/baseline-$(BENCH_PROFILE).json bench/baseline-$(BENCH_PROFILE).json
+	@grep -q '"zero_delta": true' build/self-explain.json && \
+		echo "explain: self-diff is zero-delta, OK"
 
 # Go microbenchmarks (the paper-benchmark target predating cryobench).
 paperbench:

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/explain"
 	"repro/internal/obs"
 	"repro/internal/qor"
 	"repro/internal/spice"
@@ -46,10 +47,20 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline to diff the fresh run against; exit 1 on QoR regression")
 	diffMode := flag.Bool("diff", false, "diff two recorded baselines: cryobench -diff <base.json> <cur.json>")
 	mdPath := flag.String("md", "", "also write the diff report as markdown to this path")
+	explainFlag := flag.Bool("explain", false, "append a QoR attribution report (why each metric moved) to the diff; exit code unchanged")
+	explainJSON := flag.String("explain-json", "", "with -explain, also write the attribution report as JSON to this path")
 	strictRuntime := flag.Bool("strict-runtime", false, "runtime/engine regressions also fail the gate")
 	verbose := flag.Bool("v", false, "list unchanged metrics in the diff table")
 	obsFlags := obs.InstallFlags(flag.CommandLine)
 	flag.Parse()
+
+	cfg := diffConfig{
+		strictRuntime: *strictRuntime,
+		verbose:       *verbose,
+		explain:       *explainFlag,
+		mdPath:        *mdPath,
+		explainJSON:   *explainJSON,
+	}
 
 	if *diffMode {
 		if flag.NArg() != 2 {
@@ -60,7 +71,7 @@ func main() {
 		exitOn(err)
 		cur, err := qor.ReadBaselineFile(flag.Arg(1))
 		exitOn(err)
-		os.Exit(reportDiff(base, cur, *strictRuntime, *verbose, *mdPath))
+		os.Exit(reportDiff(base, cur, cfg))
 	}
 
 	flush, err := obsFlags.Activate()
@@ -114,29 +125,65 @@ func main() {
 	base, err := qor.ReadBaselineFile(*baselinePath)
 	exitOn(err)
 	fmt.Println()
-	if code := reportDiff(base, b, *strictRuntime, *verbose, *mdPath); code != 0 {
+	if code := reportDiff(base, b, cfg); code != 0 {
 		flushObs()
 		os.Exit(code)
 	}
 }
 
-// reportDiff renders the diff to stdout (and optionally markdown) and
-// returns the process exit code the gate demands.
-func reportDiff(base, cur *qor.Baseline, strictRuntime, verbose bool, mdPath string) int {
+// diffConfig bundles the reporting knobs shared by -diff and -baseline
+// modes.
+type diffConfig struct {
+	strictRuntime bool
+	verbose       bool
+	explain       bool
+	mdPath        string
+	explainJSON   string
+}
+
+// reportDiff renders the diff to stdout (and optionally markdown), runs
+// the attribution engine when -explain is set, and returns the process
+// exit code the gate demands. Attribution never changes the exit code: it
+// explains the verdict, it does not render one.
+func reportDiff(base, cur *qor.Baseline, cfg diffConfig) int {
 	rep := qor.Diff(base, cur, qor.DefaultThresholds())
-	if err := rep.WriteTable(os.Stdout, verbose); err != nil {
+	if err := rep.WriteTable(os.Stdout, cfg.verbose); err != nil {
 		exitOn(err)
 	}
-	if mdPath != "" {
-		f, err := os.Create(mdPath)
+	var att *explain.Report
+	if cfg.explain {
+		att = explain.Diff(base, cur, explain.DefaultOptions())
+		fmt.Println()
+		exitOn(att.WriteText(os.Stdout))
+		obs.J().EventDetail(obs.KindAttribution, "cryobench",
+			fmt.Sprintf("%d attributed deltas", att.AttributedDeltas),
+			map[string]string{
+				"zero_delta": fmt.Sprint(att.ZeroDelta),
+				"deltas":     fmt.Sprint(att.AttributedDeltas),
+			}, att)
+	}
+	if cfg.mdPath != "" {
+		f, err := os.Create(cfg.mdPath)
 		exitOn(err)
 		err = rep.WriteMarkdown(f)
+		if err == nil && att != nil {
+			err = att.WriteMarkdown(f)
+		}
 		f.Close()
 		exitOn(err)
-		obs.J().Artifact("cryobench", mdPath)
-		fmt.Fprintf(os.Stderr, "markdown report written: %s\n", mdPath)
+		obs.J().Artifact("cryobench", cfg.mdPath)
+		fmt.Fprintf(os.Stderr, "markdown report written: %s\n", cfg.mdPath)
 	}
-	if rep.Failed(strictRuntime) {
+	if att != nil && cfg.explainJSON != "" {
+		f, err := os.Create(cfg.explainJSON)
+		exitOn(err)
+		err = att.WriteJSON(f)
+		f.Close()
+		exitOn(err)
+		obs.J().Artifact("cryobench", cfg.explainJSON)
+		fmt.Fprintf(os.Stderr, "attribution report written: %s\n", cfg.explainJSON)
+	}
+	if rep.Failed(cfg.strictRuntime) {
 		fmt.Fprintln(os.Stderr, "FAIL: QoR regression gate")
 		return 1
 	}

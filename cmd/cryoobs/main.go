@@ -5,12 +5,16 @@
 //	cryoobs summary journal.jsonl...                             # one line per run
 //	cryoobs tail    [-n 20] [-kind failure] journal.jsonl...     # last N events
 //	cryoobs merge   journal.jsonl...                             # merged JSONL to stdout
+//	cryoobs explain [-o report.md] [-md] journal-a journal-b     # cross-run attribution
 //
 // report renders per-run stage timelines, failure sites ranked by
 // recurrence, and the worst-converging devices and nodes decoded from
 // SPICE nonconvergence diagnoses. merge interleaves journals from several
 // binaries of one flow invocation by wall-clock time, preserving run IDs,
-// so a single file can feed later analysis.
+// so a single file can feed later analysis. explain diffs two journal
+// runs (A = baseline, B = current): stage wall-time shifts always, plus
+// full QoR attribution when both journals attest to a cryobench baseline
+// artifact that is still intact on disk (SHA-256 verified).
 //
 // Exit status: 0 on success (report/summary exit 0 even when the journal
 // records failures — the journal being readable is the success condition),
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/explain"
 	"repro/internal/forensics"
 	"repro/internal/obs"
 )
@@ -41,6 +46,8 @@ func main() {
 		cmdTail(args)
 	case "merge":
 		cmdMerge(args)
+	case "explain":
+		cmdExplain(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -57,8 +64,40 @@ commands:
            ranked by recurrence, worst-converging devices/nodes)
   summary  one-line status per run
   tail     pretty-print the last events
-  merge    merge journals by time into one JSONL stream on stdout`)
+  merge    merge journals by time into one JSONL stream on stdout
+  explain  attribute the QoR and runtime difference between two journal
+           runs: cryoobs explain <journal-a> <journal-b>`)
 	os.Exit(2)
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	md := fs.Bool("md", false, "render markdown instead of the console report")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cryoobs explain [-o report.md] [-md] <journal-a> <journal-b>")
+		os.Exit(2)
+	}
+	// Load each journal separately: explain needs the two runs' facts apart,
+	// not a time-merged stream.
+	baseEvs, err := forensics.Load(fs.Arg(0))
+	check(err)
+	curEvs, err := forensics.Load(fs.Arg(1))
+	check(err)
+	rep := explain.DiffJournals(baseEvs, curEvs, explain.DefaultOptions())
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+	if *md {
+		check(rep.WriteMarkdown(w))
+	} else {
+		check(rep.WriteText(w))
+	}
 }
 
 func cmdReport(args []string) {

@@ -1,0 +1,702 @@
+// Package explain is the cross-run QoR attribution engine: where
+// internal/qor's diff says *that* a metric moved, explain says *why* —
+// which endpoint path, which cell and liberty arc, slew- or load-driven,
+// which power class, and which flow stages and engine counters shifted
+// alongside. It consumes the provenance the v2 baseline schema records
+// (per-corner critical paths and power-by-cell-class) and renders
+// markdown/JSON attribution reports for cryobench and cryoobs.
+package explain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/qor"
+)
+
+// Options tunes attribution significance thresholds.
+type Options struct {
+	// QoRRelEps is the relative floor below which a QoR delta is noise
+	// (matches qor.Thresholds.QoRRelEps: the flow is deterministic).
+	QoRRelEps float64
+	// ArcRelEps is the relative floor for per-arc delay/slew/load deltas.
+	ArcRelEps float64
+	// TopArcs bounds the arcs listed per path delta (ranked by |delta|).
+	TopArcs int
+	// StageFrac/IQRMult/MinSeconds gate the stage wall-time correlation
+	// (same semantics as qor.Thresholds).
+	StageFrac  float64
+	IQRMult    float64
+	MinSeconds float64
+	// CounterFrac/MinCount gate the engine-counter correlation.
+	CounterFrac float64
+	MinCount    float64
+}
+
+// DefaultOptions are the cryobench/cryoobs defaults.
+func DefaultOptions() Options {
+	return Options{
+		QoRRelEps:   1e-9,
+		ArcRelEps:   1e-9,
+		TopArcs:     5,
+		StageFrac:   0.30,
+		IQRMult:     3.0,
+		MinSeconds:  5e-3,
+		CounterFrac: 0.30,
+		MinCount:    64,
+	}
+}
+
+// Report is one attribution run: every QoR delta between two baselines,
+// explained down to cells, arcs, and power classes, plus the runtime
+// correlation (stage wall times, engine counters) that moved with it.
+type Report struct {
+	BaseLabel string `json:"base_label"`
+	CurLabel  string `json:"cur_label"`
+	// ZeroDelta is the self-diff property: true iff no QoR delta was
+	// attributed (runtime/counter shifts are correlation, not QoR, and do
+	// not break it).
+	ZeroDelta bool `json:"zero_delta"`
+	// AttributedDeltas counts the QoR-bearing deltas explained below.
+	AttributedDeltas int            `json:"attributed_deltas"`
+	Circuits         []CircuitDelta `json:"circuits,omitempty"`
+	// Stages holds profile- or journal-level stage shifts (per-circuit
+	// shifts live inside Circuits).
+	Stages []StageDelta   `json:"stages,omitempty"`
+	Engine []CounterDelta `json:"engine,omitempty"`
+	// Notes records coverage caveats: missing provenance, unverifiable
+	// artifacts, circuits present on only one side.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// CircuitDelta groups one (circuit, scenario)'s attributed deltas.
+type CircuitDelta struct {
+	Key     string        `json:"key"`
+	Corners []CornerDelta `json:"corners,omitempty"`
+	Stages  []StageDelta  `json:"stages,omitempty"`
+}
+
+// CornerDelta explains one temperature corner's QoR movement.
+type CornerDelta struct {
+	TempK float64 `json:"temp_k"`
+	// Metrics lists the corner scalars that moved beyond the epsilon.
+	Metrics []MetricDelta `json:"metrics,omitempty"`
+	Paths   []PathDelta   `json:"paths,omitempty"`
+	Power   []PowerDelta  `json:"power,omitempty"`
+	// Summary is the one-line headline ("WNS -50 ps: concentrated in
+	// NAND3x2 A2 arc at 4 K, slew-driven").
+	Summary string `json:"summary,omitempty"`
+}
+
+// MetricDelta is one moved corner scalar.
+type MetricDelta struct {
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+}
+
+// Delta returns cur-base.
+func (m *MetricDelta) Delta() float64 { return m.Cur - m.Base }
+
+// Path match statuses.
+const (
+	PathMatched = "matched"
+	PathNew     = "new"     // endpoint only in the current run
+	PathRemoved = "removed" // endpoint only in the baseline
+)
+
+// PathDelta attributes one endpoint's arrival movement arc by arc.
+type PathDelta struct {
+	Endpoint string     `json:"endpoint"`
+	Status   string     `json:"status"`
+	BaseSec  float64    `json:"base_arrival_seconds,omitempty"`
+	CurSec   float64    `json:"cur_arrival_seconds,omitempty"`
+	DeltaSec float64    `json:"delta_seconds"`
+	Arcs     []ArcDelta `json:"arcs,omitempty"`
+	// ResidualSec is the arrival delta not covered by the listed arcs
+	// (arcs beyond TopArcs, or structural mismatch).
+	ResidualSec float64 `json:"residual_seconds,omitempty"`
+	// Culprit is the one-line attribution for this path.
+	Culprit string `json:"culprit,omitempty"`
+}
+
+// Arc change kinds.
+const (
+	ArcDelayShift = "delay-shift"
+	ArcCellSwap   = "cell-swap"
+	ArcAdded      = "added"   // arc only on the current path (structural)
+	ArcRemoved    = "removed" // arc only on the baseline path (structural)
+)
+
+// Arc delta drivers: what moved the arc's delay.
+const (
+	DriverCell       = "cell-driven"  // the mapped cell changed
+	DriverSlew       = "slew-driven"  // the input transition degraded/improved
+	DriverLoad       = "load-driven"  // the output load changed
+	DriverTable      = "table-driven" // same cell/slew/load: the liberty tables moved
+	DriverStructural = "structural"
+)
+
+// ArcDelta is one liberty arc's contribution to a path delta.
+type ArcDelta struct {
+	ToNet        string  `json:"to_net"`
+	Gate         string  `json:"gate,omitempty"`
+	BaseCell     string  `json:"base_cell,omitempty"`
+	CurCell      string  `json:"cur_cell,omitempty"`
+	Pin          string  `json:"pin,omitempty"`
+	DeltaSec     float64 `json:"delta_seconds"`
+	SlewDeltaSec float64 `json:"slew_delta_seconds,omitempty"`
+	LoadDeltaF   float64 `json:"load_delta_f,omitempty"`
+	Change       string  `json:"change"`
+	Driver       string  `json:"driver"`
+}
+
+// Label renders the arc's cell identity: "NAND3x2" or "NAND3x1->NAND3x2".
+func (a *ArcDelta) Label() string {
+	switch {
+	case a.BaseCell == a.CurCell:
+		return a.CurCell
+	case a.BaseCell == "":
+		return a.CurCell
+	case a.CurCell == "":
+		return a.BaseCell
+	default:
+		return a.BaseCell + "->" + a.CurCell
+	}
+}
+
+// PowerDelta attributes power movement to one cell class.
+type PowerDelta struct {
+	Cell       string  `json:"cell"`
+	BaseCount  int     `json:"base_count"`
+	CurCount   int     `json:"cur_count"`
+	LeakageW   float64 `json:"leakage_delta_w,omitempty"`
+	InternalW  float64 `json:"internal_delta_w,omitempty"`
+	SwitchingW float64 `json:"switching_delta_w,omitempty"`
+	// Dominant names the component carrying the largest |delta|:
+	// "leakage", "internal", or "switching".
+	Dominant string `json:"dominant,omitempty"`
+}
+
+// TotalW returns the class's summed power delta.
+func (p *PowerDelta) TotalW() float64 { return p.LeakageW + p.InternalW + p.SwitchingW }
+
+// StageDelta is one stage wall-time shift beyond the noise thresholds.
+type StageDelta struct {
+	Stage   string  `json:"stage"`
+	BaseSec float64 `json:"base_seconds"`
+	CurSec  float64 `json:"cur_seconds"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// CounterDelta is one engine-counter shift beyond the noise thresholds.
+type CounterDelta struct {
+	Name string  `json:"name"`
+	Base float64 `json:"base"`
+	Cur  float64 `json:"cur"`
+}
+
+// Diff attributes every QoR delta between base and cur. It never fails:
+// missing provenance degrades to scalar-level attribution with a Note.
+func Diff(base, cur *qor.Baseline, opt Options) *Report {
+	if opt.QoRRelEps == 0 {
+		opt = DefaultOptions()
+	}
+	r := &Report{
+		BaseLabel: baselineLabel(base),
+		CurLabel:  baselineLabel(cur),
+	}
+	if base == nil || cur == nil {
+		r.Notes = append(r.Notes, "missing baseline: nothing to attribute")
+		r.ZeroDelta = true
+		return r
+	}
+	baseByKey := map[string]*qor.Circuit{}
+	for i := range base.Circuits {
+		baseByKey[circuitKey(&base.Circuits[i])] = &base.Circuits[i]
+	}
+	seen := map[string]bool{}
+	for i := range cur.Circuits {
+		cc := &cur.Circuits[i]
+		key := circuitKey(cc)
+		bc, ok := baseByKey[key]
+		if !ok {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: only in current run (no baseline to attribute against)", key))
+			r.AttributedDeltas++
+			continue
+		}
+		seen[key] = true
+		if cd := diffCircuit(bc, cc, opt, r); cd != nil {
+			r.Circuits = append(r.Circuits, *cd)
+		}
+	}
+	for i := range base.Circuits {
+		if key := circuitKey(&base.Circuits[i]); !seen[key] {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: dropped from current run", key))
+			r.AttributedDeltas++
+		}
+	}
+	r.Engine = diffCounters(base.Engine, cur.Engine, opt)
+	r.ZeroDelta = r.AttributedDeltas == 0
+	return r
+}
+
+func baselineLabel(b *qor.Baseline) string {
+	if b == nil {
+		return "(none)"
+	}
+	s := b.Tool + ":" + b.Profile
+	if b.CreatedAt != "" {
+		s += "@" + b.CreatedAt
+	}
+	return s
+}
+
+func circuitKey(c *qor.Circuit) string { return c.Name + "/" + c.Scenario }
+
+// cornerScalars mirrors qor's exactly-compared corner fields.
+var cornerScalars = []struct {
+	name string
+	get  func(*qor.Corner) float64
+}{
+	{"gates", func(c *qor.Corner) float64 { return float64(c.Gates) }},
+	{"area", func(c *qor.Corner) float64 { return c.Area }},
+	{"critical_delay_seconds", func(c *qor.Corner) float64 { return c.CriticalSec }},
+	{"wns_seconds", func(c *qor.Corner) float64 { return c.WNSSec }},
+	{"tns_seconds", func(c *qor.Corner) float64 { return c.TNSSec }},
+	{"leakage_w", func(c *qor.Corner) float64 { return c.LeakageW }},
+	{"dynamic_w", func(c *qor.Corner) float64 { return c.DynamicW }},
+	{"total_w", func(c *qor.Corner) float64 { return c.TotalW }},
+}
+
+func diffCircuit(base, cur *qor.Circuit, opt Options, r *Report) *CircuitDelta {
+	cd := &CircuitDelta{Key: circuitKey(cur)}
+	baseCorner := map[float64]*qor.Corner{}
+	for i := range base.Corners {
+		baseCorner[base.Corners[i].TempK] = &base.Corners[i]
+	}
+	for i := range cur.Corners {
+		cc := &cur.Corners[i]
+		bc, ok := baseCorner[cc.TempK]
+		if !ok {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s @%gK: corner only in current run", cd.Key, cc.TempK))
+			r.AttributedDeltas++
+			continue
+		}
+		if corner := diffCorner(bc, cc, opt, r); corner != nil {
+			cd.Corners = append(cd.Corners, *corner)
+		}
+	}
+	curTemps := map[float64]bool{}
+	for i := range cur.Corners {
+		curTemps[cur.Corners[i].TempK] = true
+	}
+	for i := range base.Corners {
+		if t := base.Corners[i].TempK; !curTemps[t] {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s @%gK: corner dropped from current run", cd.Key, t))
+			r.AttributedDeltas++
+		}
+	}
+	// AIG trajectory shifts are QoR deltas too (they precede mapping).
+	if base.AIGNodesOpt != cur.AIGNodesOpt || base.AIGDepthOpt != cur.AIGDepthOpt {
+		r.AttributedDeltas++
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%s: technology-independent trajectory moved (nodes %d->%d, depth %d->%d) — upstream of mapping",
+			cd.Key, base.AIGNodesOpt, cur.AIGNodesOpt, base.AIGDepthOpt, cur.AIGDepthOpt))
+	}
+	cd.Stages = diffStages(base.StageSeconds, cur.StageSeconds, opt)
+	if len(cd.Corners) == 0 && len(cd.Stages) == 0 {
+		return nil
+	}
+	return cd
+}
+
+func diffCorner(base, cur *qor.Corner, opt Options, r *Report) *CornerDelta {
+	out := &CornerDelta{TempK: cur.TempK}
+	for _, m := range cornerScalars {
+		bv, cv := m.get(base), m.get(cur)
+		if !relEqual(bv, cv, opt.QoRRelEps) {
+			out.Metrics = append(out.Metrics, MetricDelta{Metric: m.name, Base: bv, Cur: cv})
+			r.AttributedDeltas++
+		}
+	}
+	out.Paths = diffPaths(base.Paths, cur.Paths, opt, r)
+	out.Power = diffPowerClasses(base.PowerByClass, cur.PowerByClass, opt, r)
+	if len(out.Metrics) > 0 && len(base.Paths) == 0 && len(cur.Paths) == 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"@%gK: no path provenance recorded on either side; arc-level attribution unavailable (re-record with schema v%d)",
+			cur.TempK, qor.SchemaVersion))
+	}
+	if len(out.Metrics) == 0 && len(out.Paths) == 0 && len(out.Power) == 0 {
+		return nil
+	}
+	out.Summary = cornerSummary(out)
+	return out
+}
+
+// diffPaths matches paths by endpoint and attributes arrival deltas arc by
+// arc. Only endpoints whose arrival moved (or that exist on one side only)
+// produce a PathDelta.
+func diffPaths(base, cur []qor.PathRecord, opt Options, r *Report) []PathDelta {
+	baseByEp := map[string]*qor.PathRecord{}
+	for i := range base {
+		baseByEp[base[i].Endpoint] = &base[i]
+	}
+	var out []PathDelta
+	seen := map[string]bool{}
+	for i := range cur {
+		cp := &cur[i]
+		bp, ok := baseByEp[cp.Endpoint]
+		if !ok {
+			out = append(out, PathDelta{
+				Endpoint: cp.Endpoint, Status: PathNew,
+				CurSec: cp.ArrivalSec, DeltaSec: cp.ArrivalSec,
+				Culprit: "endpoint entered the top-K critical set",
+			})
+			r.AttributedDeltas++
+			continue
+		}
+		seen[cp.Endpoint] = true
+		if relEqual(bp.ArrivalSec, cp.ArrivalSec, opt.QoRRelEps) && samePathShape(bp, cp) {
+			continue
+		}
+		pd := PathDelta{
+			Endpoint: cp.Endpoint, Status: PathMatched,
+			BaseSec: bp.ArrivalSec, CurSec: cp.ArrivalSec,
+			DeltaSec: cp.ArrivalSec - bp.ArrivalSec,
+		}
+		pd.Arcs, pd.ResidualSec = diffArcs(bp, cp, opt)
+		pd.Culprit = pathCulprit(&pd)
+		out = append(out, pd)
+		r.AttributedDeltas++
+	}
+	for i := range base {
+		bp := &base[i]
+		if seen[bp.Endpoint] {
+			continue
+		}
+		out = append(out, PathDelta{
+			Endpoint: bp.Endpoint, Status: PathRemoved,
+			BaseSec: bp.ArrivalSec, DeltaSec: -bp.ArrivalSec,
+			Culprit: "endpoint left the top-K critical set",
+		})
+		r.AttributedDeltas++
+	}
+	return out
+}
+
+// samePathShape reports whether two matched paths traverse the same arcs
+// with identical provenance (so a zero-arrival-delta path with a swapped
+// cell still gets attributed).
+func samePathShape(a, b *qor.PathRecord) bool {
+	if len(a.Arcs) != len(b.Arcs) {
+		return false
+	}
+	for i := range a.Arcs {
+		if a.Arcs[i] != b.Arcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffArcs aligns two matched paths by driven net and classifies each
+// moved arc: what changed (cell swap, delay shift, structural) and what
+// drove it (cell, slew, load, or the tables themselves).
+func diffArcs(base, cur *qor.PathRecord, opt Options) ([]ArcDelta, float64) {
+	baseByNet := map[string]*qor.ArcRecord{}
+	for i := range base.Arcs {
+		baseByNet[base.Arcs[i].ToNet] = &base.Arcs[i]
+	}
+	// Input slews come from the predecessor arc's recorded SlewSec.
+	baseSlewAt := pathSlews(base)
+	curSlewAt := pathSlews(cur)
+
+	var out []ArcDelta
+	covered := 0.0
+	for i := range cur.Arcs {
+		ca := &cur.Arcs[i]
+		ba, ok := baseByNet[ca.ToNet]
+		if !ok {
+			out = append(out, ArcDelta{
+				ToNet: ca.ToNet, Gate: ca.Gate, CurCell: ca.Cell, Pin: ca.Pin,
+				DeltaSec: ca.DelaySec, Change: ArcAdded, Driver: DriverStructural,
+			})
+			covered += ca.DelaySec
+			continue
+		}
+		d := ca.DelaySec - ba.DelaySec
+		cellSwapped := ba.Cell != ca.Cell
+		if !cellSwapped && relEqual(ba.DelaySec, ca.DelaySec, opt.ArcRelEps) {
+			continue
+		}
+		ad := ArcDelta{
+			ToNet: ca.ToNet, Gate: ca.Gate,
+			BaseCell: ba.Cell, CurCell: ca.Cell, Pin: ca.Pin,
+			DeltaSec:     d,
+			SlewDeltaSec: curSlewAt[ca.FromNet] - baseSlewAt[ba.FromNet],
+			LoadDeltaF:   ca.LoadF - ba.LoadF,
+			Change:       ArcDelayShift,
+		}
+		switch {
+		case cellSwapped:
+			ad.Change = ArcCellSwap
+			ad.Driver = DriverCell
+		case !relEqual(baseSlewAt[ba.FromNet], curSlewAt[ca.FromNet], opt.ArcRelEps):
+			ad.Driver = DriverSlew
+		case !relEqual(ba.LoadF, ca.LoadF, opt.ArcRelEps):
+			ad.Driver = DriverLoad
+		default:
+			ad.Driver = DriverTable
+		}
+		covered += d
+		out = append(out, ad)
+	}
+	for i := range base.Arcs {
+		ba := &base.Arcs[i]
+		if _, stillThere := findArc(cur, ba.ToNet); !stillThere {
+			out = append(out, ArcDelta{
+				ToNet: ba.ToNet, Gate: ba.Gate, BaseCell: ba.Cell, Pin: ba.Pin,
+				DeltaSec: -ba.DelaySec, Change: ArcRemoved, Driver: DriverStructural,
+			})
+			covered += -ba.DelaySec
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return math.Abs(out[i].DeltaSec) > math.Abs(out[j].DeltaSec)
+	})
+	residual := (cur.ArrivalSec - base.ArrivalSec) - covered
+	if opt.TopArcs > 0 && len(out) > opt.TopArcs {
+		for _, a := range out[opt.TopArcs:] {
+			residual += a.DeltaSec
+		}
+		out = out[:opt.TopArcs]
+	}
+	if math.Abs(residual) < 1e-18 {
+		residual = 0
+	}
+	return out, residual
+}
+
+func findArc(p *qor.PathRecord, toNet string) (*qor.ArcRecord, bool) {
+	for i := range p.Arcs {
+		if p.Arcs[i].ToNet == toNet {
+			return &p.Arcs[i], true
+		}
+	}
+	return nil, false
+}
+
+// pathSlews maps each net on the path to its recorded transition time, so
+// an arc's input slew is the predecessor's entry.
+func pathSlews(p *qor.PathRecord) map[string]float64 {
+	m := make(map[string]float64, len(p.Arcs))
+	for i := range p.Arcs {
+		m[p.Arcs[i].ToNet] = p.Arcs[i].SlewSec
+	}
+	return m
+}
+
+// pathCulprit writes the one-line attribution: the dominant arc and how
+// much of the path delta it carries.
+func pathCulprit(pd *PathDelta) string {
+	if len(pd.Arcs) == 0 {
+		return "arrival moved with no per-arc delta (provenance missing or load/slew boundary shift)"
+	}
+	a := &pd.Arcs[0]
+	where := a.Label()
+	if a.Pin != "" {
+		where += " " + a.Pin + "-arc"
+	}
+	if a.Gate != "" {
+		where += " at " + a.Gate
+	}
+	frac := ""
+	if pd.DeltaSec != 0 {
+		frac = fmt.Sprintf(", %.0f%% of the path delta", 100*a.DeltaSec/pd.DeltaSec)
+	}
+	return fmt.Sprintf("delta concentrated in %s (%s): %+.2f ps of %+.2f ps%s",
+		where, a.Driver, a.DeltaSec*1e12, pd.DeltaSec*1e12, frac)
+}
+
+// diffPowerClasses attributes power movement by cell class.
+func diffPowerClasses(base, cur []qor.ClassPower, opt Options, r *Report) []PowerDelta {
+	baseByCell := map[string]*qor.ClassPower{}
+	for i := range base {
+		baseByCell[base[i].Cell] = &base[i]
+	}
+	var out []PowerDelta
+	seen := map[string]bool{}
+	for i := range cur {
+		cc := &cur[i]
+		bc := baseByCell[cc.Cell]
+		var b qor.ClassPower
+		if bc != nil {
+			b = *bc
+			seen[cc.Cell] = true
+		}
+		pd := PowerDelta{
+			Cell: cc.Cell, BaseCount: b.Count, CurCount: cc.Count,
+			LeakageW:   cc.LeakageW - b.LeakageW,
+			InternalW:  cc.InternalW - b.InternalW,
+			SwitchingW: cc.SwitchingW - b.SwitchingW,
+		}
+		if relEqual(b.LeakageW, cc.LeakageW, opt.QoRRelEps) &&
+			relEqual(b.InternalW, cc.InternalW, opt.QoRRelEps) &&
+			relEqual(b.SwitchingW, cc.SwitchingW, opt.QoRRelEps) &&
+			b.Count == cc.Count {
+			continue
+		}
+		pd.Dominant = dominantComponent(&pd)
+		out = append(out, pd)
+		r.AttributedDeltas++
+	}
+	for i := range base {
+		bc := &base[i]
+		if seen[bc.Cell] {
+			continue
+		}
+		if _, stillThere := findClass(cur, bc.Cell); stillThere {
+			continue
+		}
+		pd := PowerDelta{
+			Cell: bc.Cell, BaseCount: bc.Count, CurCount: 0,
+			LeakageW:   -bc.LeakageW,
+			InternalW:  -bc.InternalW,
+			SwitchingW: -bc.SwitchingW,
+		}
+		pd.Dominant = dominantComponent(&pd)
+		out = append(out, pd)
+		r.AttributedDeltas++
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return math.Abs(out[i].TotalW()) > math.Abs(out[j].TotalW())
+	})
+	return out
+}
+
+func findClass(classes []qor.ClassPower, cell string) (*qor.ClassPower, bool) {
+	for i := range classes {
+		if classes[i].Cell == cell {
+			return &classes[i], true
+		}
+	}
+	return nil, false
+}
+
+func dominantComponent(p *PowerDelta) string {
+	l, i, s := math.Abs(p.LeakageW), math.Abs(p.InternalW), math.Abs(p.SwitchingW)
+	switch {
+	case l >= i && l >= s:
+		return "leakage"
+	case s >= i:
+		return "switching"
+	default:
+		return "internal"
+	}
+}
+
+// cornerSummary writes the corner headline from the strongest evidence:
+// a WNS/delay movement with its dominant path culprit, then power.
+func cornerSummary(c *CornerDelta) string {
+	var parts []string
+	for _, m := range c.Metrics {
+		switch m.Metric {
+		case "wns_seconds":
+			parts = append(parts, fmt.Sprintf("WNS %+.2f ps", m.Delta()*1e12))
+		case "total_w":
+			parts = append(parts, fmt.Sprintf("power %+.4g W", m.Delta()))
+		case "area":
+			parts = append(parts, fmt.Sprintf("area %+.4g", m.Delta()))
+		}
+	}
+	head := ""
+	if len(parts) > 0 {
+		head = parts[0]
+		for _, p := range parts[1:] {
+			head += ", " + p
+		}
+	}
+	for i := range c.Paths {
+		if c.Paths[i].Status == PathMatched && len(c.Paths[i].Arcs) > 0 {
+			if head != "" {
+				head += ": "
+			}
+			head += c.Paths[i].Culprit
+			break
+		}
+	}
+	if len(c.Power) > 0 {
+		p := &c.Power[0]
+		if head != "" {
+			head += "; "
+		}
+		head += fmt.Sprintf("power delta led by %s (%s, %+.4g W, count %d->%d)",
+			p.Cell, p.Dominant, p.TotalW(), p.BaseCount, p.CurCount)
+	}
+	return head
+}
+
+// diffStages applies the qor noise rule to stage wall-time medians and
+// returns the shifts worth correlating.
+func diffStages(base, cur map[string]qor.Stat, opt Options) []StageDelta {
+	var out []StageDelta
+	for stage, cs := range cur {
+		bs, ok := base[stage]
+		if !ok {
+			continue
+		}
+		if bs.Median < opt.MinSeconds && cs.Median < opt.MinSeconds {
+			continue
+		}
+		if !noisyShift(bs, cs, opt.StageFrac, opt.IQRMult) {
+			continue
+		}
+		out = append(out, StageDelta{
+			Stage: stage, BaseSec: bs.Median, CurSec: cs.Median,
+			Note: fmt.Sprintf("median %.4g -> %.4g s (IQR %.2g/%.2g, n=%d)",
+				bs.Median, cs.Median, bs.IQR, cs.IQR, cs.N),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// diffCounters applies the same rule to engine counters.
+func diffCounters(base, cur map[string]qor.Stat, opt Options) []CounterDelta {
+	var out []CounterDelta
+	for name, cs := range cur {
+		bs, ok := base[name]
+		if !ok {
+			continue
+		}
+		if bs.Median < opt.MinCount && cs.Median < opt.MinCount {
+			continue
+		}
+		if !noisyShift(bs, cs, opt.CounterFrac, opt.IQRMult) {
+			continue
+		}
+		out = append(out, CounterDelta{Name: name, Base: bs.Median, Cur: cs.Median})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// noisyShift reports whether the median moved beyond BOTH the relative
+// band and the IQR noise band (qor.noisyVerdict's rule, direction-blind).
+func noisyShift(base, cur qor.Stat, frac, iqrMult float64) bool {
+	shift := math.Abs(cur.Median - base.Median)
+	relBand := frac * math.Abs(base.Median)
+	noiseBand := iqrMult * math.Max(base.IQR, cur.IQR)
+	return shift > math.Max(relBand, 1e-300) && shift > noiseBand
+}
+
+// relEqual is the shared relative-epsilon comparison.
+func relEqual(a, b, relEps float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= relEps*scale
+}

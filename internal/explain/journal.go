@@ -1,0 +1,161 @@
+package explain
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/qor"
+)
+
+// RunFacts is the explain-relevant extract of one journal run: per-stage
+// wall-time samples, failure count, and the QoR baseline artifacts the run
+// recorded (with their provenance hashes).
+type RunFacts struct {
+	RunID    string
+	Bin      string
+	Stages   map[string][]float64 // stage -> wall-time samples (seconds)
+	Failures int
+	// Baselines are cryobench baseline artifacts the journal attests to,
+	// in emission order.
+	Baselines []BaselineRef
+}
+
+// BaselineRef is one journal-attested baseline artifact.
+type BaselineRef struct {
+	Path   string
+	SHA256 string
+}
+
+// Facts extracts RunFacts from a journal event stream.
+func Facts(events []obs.Event) *RunFacts {
+	f := &RunFacts{Stages: map[string][]float64{}}
+	for i := range events {
+		e := &events[i]
+		if f.RunID == "" && e.Run != "" {
+			f.RunID = e.Run
+		}
+		switch e.Kind {
+		case obs.KindRunStart:
+			if b := e.Attrs["bin"]; b != "" {
+				f.Bin = b
+			}
+		case obs.KindStageEnd:
+			if s := e.Attrs["seconds"]; s != "" {
+				if sec, err := strconv.ParseFloat(s, 64); err == nil {
+					f.Stages[e.Stage] = append(f.Stages[e.Stage], sec)
+				}
+			}
+		case obs.KindFailure:
+			f.Failures++
+		case obs.KindArtifact:
+			path := e.Attrs["path"]
+			if e.Stage == "cryobench" && strings.HasSuffix(path, ".json") {
+				f.Baselines = append(f.Baselines, BaselineRef{Path: path, SHA256: e.Attrs["sha256"]})
+			}
+		}
+	}
+	return f
+}
+
+// Verify checks that the artifact on disk still matches the journal's
+// recorded hash — attribution over drifted artifacts would lie.
+func (b *BaselineRef) Verify() error {
+	f, err := os.Open(b.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	if sum := hex.EncodeToString(h.Sum(nil)); sum != b.SHA256 {
+		return fmt.Errorf("%s drifted on disk: journal sha %.12s, disk sha %.12s", b.Path, b.SHA256, sum)
+	}
+	return nil
+}
+
+// DiffJournals attributes the difference between two journal runs: stage
+// wall-time shifts always; full QoR attribution when both journals attest
+// to a baseline artifact that is still intact on disk. It never fails on
+// missing provenance — gaps become Notes.
+func DiffJournals(baseEvents, curEvents []obs.Event, opt Options) *Report {
+	if opt.QoRRelEps == 0 {
+		opt = DefaultOptions()
+	}
+	bf, cf := Facts(baseEvents), Facts(curEvents)
+	r := &Report{
+		BaseLabel: journalLabel(bf),
+		CurLabel:  journalLabel(cf),
+	}
+	r.Stages = diffStages(stageStats(bf), stageStats(cf), opt)
+	if bf.Failures != cf.Failures {
+		r.Notes = append(r.Notes, fmt.Sprintf("failure count moved: %d -> %d", bf.Failures, cf.Failures))
+	}
+
+	bb := loadAttested(bf, r, "baseline journal")
+	cb := loadAttested(cf, r, "current journal")
+	if bb != nil && cb != nil {
+		qr := Diff(bb, cb, opt)
+		r.Circuits = qr.Circuits
+		r.Engine = qr.Engine
+		r.AttributedDeltas = qr.AttributedDeltas
+		r.Notes = append(r.Notes, qr.Notes...)
+	} else {
+		r.Notes = append(r.Notes,
+			"QoR attribution skipped: both journals must attest to an intact cryobench baseline artifact")
+	}
+	r.ZeroDelta = r.AttributedDeltas == 0
+	return r
+}
+
+func journalLabel(f *RunFacts) string {
+	bin := f.Bin
+	if bin == "" {
+		bin = "journal"
+	}
+	if f.RunID == "" {
+		return bin
+	}
+	return bin + ":" + f.RunID
+}
+
+// stageStats summarizes each stage's samples the way qor baselines do.
+func stageStats(f *RunFacts) map[string]qor.Stat {
+	out := make(map[string]qor.Stat, len(f.Stages))
+	names := make([]string, 0, len(f.Stages))
+	for name := range f.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out[name] = qor.NewStat(f.Stages[name])
+	}
+	return out
+}
+
+// loadAttested resolves a journal's attested baseline: the last intact
+// artifact wins (a run may write intermediates). Failures become Notes.
+func loadAttested(f *RunFacts, r *Report, side string) *qor.Baseline {
+	for i := len(f.Baselines) - 1; i >= 0; i-- {
+		ref := &f.Baselines[i]
+		if err := ref.Verify(); err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", side, err))
+			continue
+		}
+		b, err := qor.ReadBaselineFile(ref.Path)
+		if err != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: %v", side, err))
+			continue
+		}
+		return b
+	}
+	return nil
+}

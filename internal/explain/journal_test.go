@@ -1,0 +1,151 @@
+package explain_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/obs"
+	"repro/internal/qor"
+)
+
+// journalFor writes a synthetic run journal: run.start, stage timings, and
+// an artifact attestation for the given baseline file.
+func journalFor(t *testing.T, runID, baselinePath string, stageSec float64) []obs.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf, runID)
+	j.Event(obs.KindRunStart, "", "cryobench -profile smoke", map[string]string{"bin": "cryobench"})
+	j.StageEnd("synth.synthesize", stageSec)
+	j.StageEnd("rep.wall", stageSec*1.5)
+	if baselinePath != "" {
+		j.Artifact("cryobench", baselinePath)
+	}
+	j.Event(obs.KindRunEnd, "", "", nil)
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// writeBaseline persists a minimal v2 baseline and returns its path.
+func writeBaseline(t *testing.T, dir, name string, wns float64) string {
+	t.Helper()
+	b := baselineWith(qor.Corner{TempK: 300, WNSSec: wns})
+	path := filepath.Join(dir, name)
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFactsExtraction(t *testing.T) {
+	dir := t.TempDir()
+	path := writeBaseline(t, dir, "base.json", 7e-10)
+	evs := journalFor(t, "r-abc", path, 0.5)
+	f := explain.Facts(evs)
+	if f.RunID != "r-abc" || f.Bin != "cryobench" {
+		t.Errorf("run identity wrong: %+v", f)
+	}
+	if len(f.Stages["synth.synthesize"]) != 1 || f.Stages["synth.synthesize"][0] != 0.5 {
+		t.Errorf("stage samples wrong: %+v", f.Stages)
+	}
+	if len(f.Baselines) != 1 || f.Baselines[0].Path != path {
+		t.Fatalf("baseline attestation missing: %+v", f.Baselines)
+	}
+	if err := f.Baselines[0].Verify(); err != nil {
+		t.Errorf("intact artifact failed verification: %v", err)
+	}
+}
+
+func TestDiffJournalsWithIntactArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeBaseline(t, dir, "base.json", 7e-10)
+	curPath := writeBaseline(t, dir, "cur.json", 6.5e-10) // WNS regressed 50 ps
+
+	baseEvs := journalFor(t, "r-base", basePath, 0.5)
+	curEvs := journalFor(t, "r-cur", curPath, 0.5)
+	rep := explain.DiffJournals(baseEvs, curEvs, explain.DefaultOptions())
+	if rep.ZeroDelta {
+		t.Fatal("WNS regression between attested baselines attributed nothing")
+	}
+	if !strings.Contains(rep.BaseLabel, "r-base") || !strings.Contains(rep.CurLabel, "r-cur") {
+		t.Errorf("labels do not carry run IDs: %q vs %q", rep.BaseLabel, rep.CurLabel)
+	}
+	foundWNS := false
+	for _, cd := range rep.Circuits {
+		for _, c := range cd.Corners {
+			for _, m := range c.Metrics {
+				if m.Metric == "wns_seconds" {
+					foundWNS = true
+				}
+			}
+		}
+	}
+	if !foundWNS {
+		t.Errorf("journal diff did not surface the WNS delta: %+v", rep.Circuits)
+	}
+}
+
+func TestDiffJournalsSelfIsZeroDelta(t *testing.T) {
+	dir := t.TempDir()
+	path := writeBaseline(t, dir, "base.json", 7e-10)
+	// Two runs of the same flow: identical artifact, jittery wall clock.
+	baseEvs := journalFor(t, "r-1", path, 0.50)
+	curEvs := journalFor(t, "r-2", path, 0.52)
+	rep := explain.DiffJournals(baseEvs, curEvs, explain.DefaultOptions())
+	if !rep.ZeroDelta {
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		t.Errorf("journal self-diff attributed deltas:\n%s", buf.String())
+	}
+}
+
+func TestDiffJournalsDriftedArtifactSkipsQoR(t *testing.T) {
+	dir := t.TempDir()
+	basePath := writeBaseline(t, dir, "base.json", 7e-10)
+	curPath := writeBaseline(t, dir, "cur.json", 6.5e-10)
+	baseEvs := journalFor(t, "r-base", basePath, 0.5)
+	curEvs := journalFor(t, "r-cur", curPath, 0.5)
+
+	// The current artifact drifts after the journal attested to it.
+	if err := os.WriteFile(curPath, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := explain.DiffJournals(baseEvs, curEvs, explain.DefaultOptions())
+	if len(rep.Circuits) != 0 {
+		t.Errorf("QoR attribution ran over a drifted artifact: %+v", rep.Circuits)
+	}
+	var sawDrift, sawSkip bool
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "drifted on disk") {
+			sawDrift = true
+		}
+		if strings.Contains(n, "QoR attribution skipped") {
+			sawSkip = true
+		}
+	}
+	if !sawDrift || !sawSkip {
+		t.Errorf("drift not surfaced in notes: %v", rep.Notes)
+	}
+}
+
+func TestDiffJournalsNoArtifactsStillCorrelatesStages(t *testing.T) {
+	// No artifact events at all: stage shifts are still reported.
+	baseEvs := journalFor(t, "r-1", "", 0.5)
+	curEvs := journalFor(t, "r-2", "", 2.5) // 5x slower, tight
+	rep := explain.DiffJournals(baseEvs, curEvs, explain.DefaultOptions())
+	if len(rep.Stages) == 0 {
+		t.Errorf("5x stage slowdown not correlated: %+v", rep)
+	}
+	if !rep.ZeroDelta {
+		t.Errorf("runtime-only shift broke the zero-delta property")
+	}
+}

@@ -89,6 +89,7 @@ func (f *Flags) Activate() (flush func(), err error) {
 // telemetry must never mask the tool's own exit status.
 func (f *Flags) Flush() {
 	if f.MetricsPath != "" {
+		SampleRuntimeMetrics()
 		if f.MetricsPath == "-" {
 			fmt.Fprintln(os.Stderr, "--- metrics ---")
 			if err := Metrics().WriteText(os.Stderr); err != nil {

@@ -50,6 +50,9 @@ const (
 	KindWarning    = "warning"
 	KindFailure    = "failure"
 	KindArtifact   = "artifact"
+	// KindAttribution carries a QoR attribution report (internal/explain)
+	// as its structured detail payload.
+	KindAttribution = "attribution"
 )
 
 // Journal is an append-only JSONL event writer. All methods are safe for

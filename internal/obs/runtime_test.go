@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestSampleRuntimeMetricsDisabledIsNoOp(t *testing.T) {
+	DisableMetrics()
+	SampleRuntimeMetrics() // must not panic or install a registry
+	if MetricsEnabled() {
+		t.Fatal("sampling installed a registry")
+	}
+}
+
+func TestSampleRuntimeMetrics(t *testing.T) {
+	defer DisableMetrics()
+	EnableMetrics()
+	runtime.GC() // guarantee at least one new pause for the histogram
+	SampleRuntimeMetrics()
+
+	if g := G("runtime.goroutines").Value(); g < 1 {
+		t.Errorf("runtime.goroutines = %g, want >= 1", g)
+	}
+	if h := G("runtime.heap_alloc_bytes").Value(); h <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %g, want > 0", h)
+	}
+	if c := G("runtime.gc_count").Value(); c < 1 {
+		t.Errorf("runtime.gc_count = %g, want >= 1", c)
+	}
+	pauses := H("runtime.gc_pause_seconds").Count()
+	if pauses < 1 {
+		t.Errorf("gc pause histogram empty after forced GC")
+	}
+
+	// Re-sampling without new GCs must not double-count pauses. (Guard on
+	// the GC count in case the runtime collected between the samples.)
+	gcBefore := G("runtime.gc_count").Value()
+	SampleRuntimeMetrics()
+	if G("runtime.gc_count").Value() == gcBefore {
+		if again := H("runtime.gc_pause_seconds").Count(); again != pauses {
+			t.Errorf("pause count moved %d -> %d without a GC", pauses, again)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	defer DisableMetrics()
+	EnableMetrics()
+	mux := obsMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz = %d, want 200", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.HasPrefix(body, "ok") || !strings.Contains(body, "uptime=") {
+		t.Errorf("/healthz body = %q", body)
+	}
+}
+
+func TestBuildinfoEndpoint(t *testing.T) {
+	defer DisableMetrics()
+	EnableMetrics()
+	mux := obsMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/buildinfo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/buildinfo = %d, want 200", rec.Code)
+	}
+	var bi BuildInfoReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &bi); err != nil {
+		t.Fatalf("/buildinfo did not parse: %v\n%s", err, rec.Body.String())
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("go_version = %q", bi.GoVersion)
+	}
+	if bi.GOOS != runtime.GOOS || bi.GOARCH != runtime.GOARCH {
+		t.Errorf("goos/goarch = %s/%s", bi.GOOS, bi.GOARCH)
+	}
+	if bi.UptimeSec <= 0 {
+		t.Errorf("uptime_seconds = %g", bi.UptimeSec)
+	}
+	if !bi.Telemetry.Metrics {
+		t.Errorf("telemetry.metrics false while registry enabled")
+	}
+	if bi.Telemetry.Journal {
+		t.Errorf("telemetry.journal true while journaling disabled")
+	}
+}
+
+// TestMetricsExpositionIncludesRuntime: scraping /metrics must refresh the
+// runtime gauges in the same registry the scrape reads.
+func TestMetricsExpositionIncludesRuntime(t *testing.T) {
+	defer DisableMetrics()
+	EnableMetrics()
+	mux := obsMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"runtime_goroutines", "runtime_heap_alloc_bytes"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+}

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 )
 
 // registerPprof mounts the net/http/pprof handlers on mux (shared by the
@@ -24,21 +27,36 @@ func registerPprof(mux *http.ServeMux) {
 func obsMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		SampleRuntimeMetrics()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := Metrics().WritePrometheus(w); err != nil {
 			Log().Errorf("obs: /metrics: %v", err)
 		}
 	})
 	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		SampleRuntimeMetrics()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := Metrics().WriteText(w); err != nil {
 			Log().Errorf("obs: /metrics.txt: %v", err)
 		}
 	})
 	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		SampleRuntimeMetrics()
 		w.Header().Set("Content-Type", "application/json")
 		if err := Metrics().Snapshot().WriteJSON(w); err != nil {
 			Log().Errorf("obs: /snapshot.json: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", Uptime().Round(1e6))
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(BuildInfo()); err != nil {
+			Log().Errorf("obs: /buildinfo: %v", err)
 		}
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
@@ -58,10 +76,58 @@ func obsMux() *http.ServeMux {
 		fmt.Fprintln(w, "  /metrics.txt    sorted plain-text metric dump")
 		fmt.Fprintln(w, "  /snapshot.json  registry snapshot (obs.ReadSnapshot format)")
 		fmt.Fprintln(w, "  /spans          live span-tree summary")
+		fmt.Fprintln(w, "  /healthz        liveness probe (ok + uptime)")
+		fmt.Fprintln(w, "  /buildinfo      build provenance + enabled telemetry (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/   net/http/pprof")
 	})
 	registerPprof(mux)
 	return mux
+}
+
+// BuildInfoReport is the /buildinfo payload: enough provenance to tie a
+// scraped metric stream back to the binary that produced it.
+type BuildInfoReport struct {
+	GoVersion   string  `json:"go_version"`
+	Module      string  `json:"module,omitempty"`
+	VCSRevision string  `json:"vcs_revision,omitempty"`
+	VCSTime     string  `json:"vcs_time,omitempty"`
+	VCSModified bool    `json:"vcs_modified,omitempty"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	UptimeSec   float64 `json:"uptime_seconds"`
+	Telemetry   struct {
+		Metrics bool `json:"metrics"`
+		Tracing bool `json:"tracing"`
+		Journal bool `json:"journal"`
+	} `json:"telemetry"`
+}
+
+// BuildInfo assembles the build provenance report from
+// debug.ReadBuildInfo and the current telemetry state.
+func BuildInfo() *BuildInfoReport {
+	r := &BuildInfoReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		UptimeSec: Uptime().Seconds(),
+	}
+	r.Telemetry.Metrics = MetricsEnabled()
+	r.Telemetry.Tracing = Tracing() != nil
+	r.Telemetry.Journal = JournalEnabled()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		r.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				r.VCSRevision = s.Value
+			case "vcs.time":
+				r.VCSTime = s.Value
+			case "vcs.modified":
+				r.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return r
 }
 
 // serveObs enables metrics and tracing (the endpoint is useless without

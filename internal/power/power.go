@@ -47,34 +47,46 @@ func (r *Report) LeakageShare() float64 {
 
 // Analyze computes the three-way power split of a mapped netlist.
 func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Report, error) {
+	rep, _, err := AnalyzeFull(ctx, nl, lib, opt)
+	return rep, err
+}
+
+// AnalyzeFull computes the power totals and the per-instance attribution in
+// one STA + activity pass. The Report sums are accumulated in the same
+// deterministic order as ever (gates for leakage/internal, sorted nets for
+// switching), so totals are bit-identical whichever entry point is used —
+// the QoR regression gate compares them exactly.
+func AnalyzeFull(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt Options) (*Report, []CellPower, error) {
 	ctx, span := obs.Start(ctx, "power.analyze")
 	span.SetAttr("design", nl.Name)
 	defer span.End()
 	obs.C("power.analyses").Inc()
 	if opt.ClockPeriod <= 0 {
-		return nil, fmt.Errorf("power: clock period must be positive")
+		return nil, nil, fmt.Errorf("power: clock period must be positive")
 	}
 	if opt.SimRounds == 0 {
 		opt.SimRounds = 8
 	}
 	timing, err := sta.Analyze(ctx, nl, lib, opt.STA)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rates, err := nl.ToggleRates(opt.SimRounds, opt.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := &Report{ClockPeriod: opt.ClockPeriod}
 	freq := 1.0 / opt.ClockPeriod
 	vdd := lib.Vdd
+	cells := make([]CellPower, 0, len(nl.Gates))
 	for _, g := range nl.Gates {
 		lc := lib.FindCell(g.Cell)
 		if lc == nil {
-			return nil, fmt.Errorf("power: cell %s not in library", g.Cell)
+			return nil, nil, fmt.Errorf("power: cell %s not in library", g.Cell)
 		}
 		def := nl.Cell(g.Cell)
-		rep.Leakage += lc.LeakagePower
+		cp := CellPower{Gate: g.Name, Cell: g.Cell, Leakage: lc.LeakagePower}
+		rep.Leakage += cp.Leakage
 
 		// Internal power: per output-net toggle, the average of rise/fall
 		// internal energy at the gate's operating point, attributed to the
@@ -95,9 +107,15 @@ func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt
 				arcs++
 			}
 			if arcs > 0 {
-				rep.Internal += alpha * freq * (eSum / float64(arcs))
+				cp.Internal = alpha * freq * (eSum / float64(arcs))
+				rep.Internal += cp.Internal
 			}
+			// Switching charged to the gate's output net (the Report's
+			// switching total is summed separately below so primary-input
+			// nets, which no gate owns, are included too).
+			cp.Switching = alpha * freq * 0.5 * load * vdd * vdd
 		}
+		cells = append(cells, cp)
 	}
 	// Net switching power: alpha * f * 1/2 * C * Vdd^2 over driven nets.
 	// Nets are visited in sorted order so the floating-point sum is
@@ -115,5 +133,5 @@ func Analyze(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt
 		}
 		rep.Switching += alpha * freq * 0.5 * timing.Load[net] * vdd * vdd
 	}
-	return rep, nil
+	return rep, cells, nil
 }

@@ -139,6 +139,35 @@ func TestAttributeSumsToReport(t *testing.T) {
 	}
 }
 
+func TestGroupByCell(t *testing.T) {
+	cells := []CellPower{
+		{Gate: "g1", Cell: "INVx1", Leakage: 1, Internal: 2, Switching: 3},
+		{Gate: "g2", Cell: "NAND2x1", Leakage: 10, Internal: 20, Switching: 30},
+		{Gate: "g3", Cell: "INVx1", Leakage: 1, Internal: 2, Switching: 3},
+	}
+	classes := GroupByCell(cells)
+	if len(classes) != 2 {
+		t.Fatalf("want 2 classes, got %+v", classes)
+	}
+	// Sorted by cell name.
+	if classes[0].Cell != "INVx1" || classes[1].Cell != "NAND2x1" {
+		t.Errorf("class order wrong: %+v", classes)
+	}
+	inv := classes[0]
+	if inv.Count != 2 || inv.Leakage != 2 || inv.Internal != 4 || inv.Switching != 6 {
+		t.Errorf("INVx1 fold wrong: %+v", inv)
+	}
+	if inv.Total() != 12 {
+		t.Errorf("Total = %g, want 12", inv.Total())
+	}
+	if nand := classes[1]; nand.Count != 1 || nand.Total() != 60 {
+		t.Errorf("NAND2x1 fold wrong: %+v", nand)
+	}
+	if got := GroupByCell(nil); len(got) != 0 {
+		t.Errorf("empty input: %+v", got)
+	}
+}
+
 func TestWriteTopConsumers(t *testing.T) {
 	lib, used := testlib.Build(catalog, testlib.Names(), 300)
 	cells, err := Attribute(context.Background(), demoNetlist(used), lib, Options{ClockPeriod: 1e-9})

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/liberty"
 	"repro/internal/netlist"
-	"repro/internal/sta"
 )
 
 // CellPower attributes power to one gate instance.
@@ -29,53 +28,45 @@ func (c *CellPower) Total() float64 { return c.Leakage + c.Internal + c.Switchin
 // Report's totals except for primary-input net switching, which has no
 // owning gate.
 func Attribute(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, opt Options) ([]CellPower, error) {
-	if opt.ClockPeriod <= 0 {
-		return nil, fmt.Errorf("power: clock period must be positive")
-	}
-	if opt.SimRounds == 0 {
-		opt.SimRounds = 8
-	}
-	timing, err := sta.Analyze(ctx, nl, lib, opt.STA)
-	if err != nil {
-		return nil, err
-	}
-	rates, err := nl.ToggleRates(opt.SimRounds, opt.Seed)
-	if err != nil {
-		return nil, err
-	}
-	freq := 1.0 / opt.ClockPeriod
-	vdd := lib.Vdd
-	out := make([]CellPower, 0, len(nl.Gates))
-	for _, g := range nl.Gates {
-		lc := lib.FindCell(g.Cell)
-		if lc == nil {
-			return nil, fmt.Errorf("power: cell %s not in library", g.Cell)
+	_, cells, err := AnalyzeFull(ctx, nl, lib, opt)
+	return cells, err
+}
+
+// ClassPower aggregates instance power by library cell (the "cell class"
+// view: all NAND2x1 instances as one row). The compact form the QoR
+// baseline persists for cross-run power attribution.
+type ClassPower struct {
+	Cell      string
+	Count     int
+	Leakage   float64
+	Internal  float64
+	Switching float64
+}
+
+// Total returns the class's combined power.
+func (c *ClassPower) Total() float64 { return c.Leakage + c.Internal + c.Switching }
+
+// GroupByCell folds per-instance attributions into per-cell-class rows,
+// sorted by cell name. Accumulation follows the instance (gate) order, so
+// the grouped sums are as deterministic as the input.
+func GroupByCell(cells []CellPower) []ClassPower {
+	idx := make(map[string]int)
+	var out []ClassPower
+	for i := range cells {
+		cp := &cells[i]
+		j, ok := idx[cp.Cell]
+		if !ok {
+			j = len(out)
+			idx[cp.Cell] = j
+			out = append(out, ClassPower{Cell: cp.Cell})
 		}
-		def := nl.Cell(g.Cell)
-		cp := CellPower{Gate: g.Name, Cell: g.Cell, Leakage: lc.LeakagePower}
-		alpha := rates[g.Output]
-		load := timing.Load[g.Output]
-		if alpha > 0 {
-			outPin := def.Outputs[0]
-			var eSum float64
-			arcs := 0
-			for i, in := range g.Inputs {
-				pw := lc.Power(outPin, def.Inputs[i])
-				if pw == nil {
-					continue
-				}
-				slew := timing.Slew[in]
-				eSum += 0.5 * (pw.RisePower.Lookup(slew, load) + pw.FallPower.Lookup(slew, load))
-				arcs++
-			}
-			if arcs > 0 {
-				cp.Internal = alpha * freq * (eSum / float64(arcs))
-			}
-			cp.Switching = alpha * freq * 0.5 * load * vdd * vdd
-		}
-		out = append(out, cp)
+		out[j].Count++
+		out[j].Leakage += cp.Leakage
+		out[j].Internal += cp.Internal
+		out[j].Switching += cp.Switching
 	}
-	return out, nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
 }
 
 // WriteTopConsumers prints the n highest-power instances as a signoff-style

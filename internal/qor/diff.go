@@ -215,6 +215,7 @@ func diffCircuit(r *Report, base, cur *Circuit, th Thresholds) {
 	for i := range base.Corners {
 		baseCorner[base.Corners[i].TempK] = &base.Corners[i]
 	}
+	seenCorner := map[float64]bool{}
 	for i := range cur.Corners {
 		cc := &cur.Corners[i]
 		ckey := fmt.Sprintf("%s @%gK", key, cc.TempK)
@@ -224,6 +225,7 @@ func diffCircuit(r *Report, base, cur *Circuit, th Thresholds) {
 				Kind: KindQoR, Verdict: New, Note: "corner not in baseline"})
 			continue
 		}
+		seenCorner[cc.TempK] = true
 		for _, m := range cornerMetrics {
 			bv, cv := m.get(bc), m.get(cc)
 			e := Entry{Key: ckey, Metric: m.name, Kind: KindQoR, Base: bv, Cur: cv, Verdict: OK}
@@ -236,6 +238,19 @@ func diffCircuit(r *Report, base, cur *Circuit, th Thresholds) {
 				}
 			}
 			r.Entries = append(r.Entries, e)
+		}
+	}
+	// A corner dropped from the current run is lost coverage — a hard
+	// failure, like a dropped circuit.
+	for i := range base.Corners {
+		bc := &base.Corners[i]
+		if !seenCorner[bc.TempK] {
+			r.Entries = append(r.Entries, Entry{
+				Key:    fmt.Sprintf("%s @%gK", key, bc.TempK),
+				Metric: "corner", Kind: KindQoR, Verdict: Missing,
+				Note: "corner dropped from run",
+			})
+			r.QoRRegressions++
 		}
 	}
 	// Stage wall times: noise-aware, lower is better.

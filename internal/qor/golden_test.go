@@ -42,6 +42,45 @@ func goldenBaseline() *Baseline {
 				LeakageW:    1.5e-8,
 				DynamicW:    2.5e-6,
 				TotalW:      2.515e-6,
+				Paths: []PathRecord{{
+					Endpoint:   "out0",
+					ArrivalSec: 3.25e-10,
+					SlackSec:   6.75e-10,
+					Arcs: []ArcRecord{{
+						FromNet:    "in0",
+						ToNet:      "n1",
+						Gate:       "g1",
+						Cell:       "INVx1",
+						Pin:        "A",
+						DelaySec:   1.25e-10,
+						ArrivalSec: 1.25e-10,
+						SlewSec:    2.0e-11,
+						LoadF:      3.5e-15,
+					}, {
+						FromNet:    "n1",
+						ToNet:      "out0",
+						Gate:       "g2",
+						Cell:       "NAND2x1",
+						Pin:        "B",
+						DelaySec:   2.0e-10,
+						ArrivalSec: 3.25e-10,
+						SlewSec:    2.5e-11,
+						LoadF:      1.0e-15,
+					}},
+				}},
+				PowerByClass: []ClassPower{{
+					Cell:       "INVx1",
+					Count:      20,
+					LeakageW:   7.5e-9,
+					InternalW:  1.1e-6,
+					SwitchingW: 2.0e-7,
+				}, {
+					Cell:       "NAND2x1",
+					Count:      21,
+					LeakageW:   7.5e-9,
+					InternalW:  1.0e-6,
+					SwitchingW: 1.9e-7,
+				}},
 			}, {
 				TempK:       10,
 				Gates:       41,

@@ -3,6 +3,7 @@ package qor
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -169,6 +170,71 @@ func TestDiffDroppedCircuitIsHardFailure(t *testing.T) {
 	}
 }
 
+func TestDiffDroppedCornerIsHardFailure(t *testing.T) {
+	base, cur := twoBaselines()
+	// The 10 K corner vanishes from the current run: lost coverage.
+	cur.Circuits[0].Corners = cur.Circuits[0].Corners[:1]
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.QoRRegressions == 0 || !rep.Failed(false) {
+		t.Fatalf("dropped corner did not fail the gate: %+v", rep)
+	}
+	found := false
+	for _, e := range rep.Entries {
+		if e.Metric == "corner" && e.Verdict == Missing && strings.Contains(e.Key, "@10K") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dropped corner not reported as Missing: %+v", rep.Entries)
+	}
+}
+
+func TestDiffNewCornerIsNotFailure(t *testing.T) {
+	base, cur := twoBaselines()
+	base.Circuits[0].Corners = base.Circuits[0].Corners[:1]
+	rep := Diff(base, cur, DefaultThresholds())
+	if rep.QoRRegressions != 0 {
+		t.Errorf("new corner counted as regression: %+v", rep.Entries)
+	}
+}
+
+func TestDiffZeroRepStatsDoNotPanic(t *testing.T) {
+	base, cur := twoBaselines()
+	// A run that recorded no samples for a stage or counter must diff
+	// cleanly, not panic or divide by zero.
+	cur.Circuits[0].StageSeconds["synth.synthesize"] = Stat{}
+	cur.Engine["sat.conflicts"] = Stat{}
+	base.Engine["empty.counter"] = Stat{}
+	cur.Engine["empty.counter"] = Stat{}
+	rep := Diff(base, cur, DefaultThresholds())
+	for _, e := range rep.Entries {
+		if math.IsNaN(e.Base) || math.IsNaN(e.Cur) || math.IsNaN(e.RelDelta()) {
+			t.Errorf("NaN in diff entry: %+v", e)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTable(&buf, true); err != nil {
+		t.Fatalf("WriteTable with zero-rep stats: %v", err)
+	}
+}
+
+func TestVersionErrorIsTyped(t *testing.T) {
+	b, _ := twoBaselines()
+	b.SchemaVersion = SchemaVersion + 7
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBaseline(&buf)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VersionError, got %T: %v", err, err)
+	}
+	if ve.Got != SchemaVersion+7 || ve.Want != SchemaVersion {
+		t.Errorf("VersionError fields wrong: %+v", ve)
+	}
+}
+
 func TestDiffNondeterminismFails(t *testing.T) {
 	base, cur := twoBaselines()
 	cur.Circuits[0].Deterministic = false
@@ -233,6 +299,41 @@ func TestRunSmokeSingle(t *testing.T) {
 	}
 	if st, ok := c.StageSeconds["rep.wall"]; !ok || st.N != 2 {
 		t.Errorf("rep.wall stat missing or wrong n: %+v", st)
+	}
+	// v2 provenance: each corner must carry critical paths (with named
+	// cells and arcs) and a power breakdown by cell class.
+	for _, corner := range c.Corners {
+		if len(corner.Paths) == 0 {
+			t.Fatalf("@%gK: no path provenance recorded", corner.TempK)
+		}
+		p := corner.Paths[0]
+		if p.Endpoint == "" || len(p.Arcs) == 0 {
+			t.Errorf("@%gK: degenerate path record: %+v", corner.TempK, p)
+		}
+		for i, a := range p.Arcs {
+			if a.ToNet == "" {
+				t.Errorf("@%gK: arc without net: %+v", corner.TempK, a)
+			}
+			// The first arc is the launch point (a primary input): no
+			// gate, zero delay. Every later arc traverses a mapped cell.
+			if i > 0 && (a.Cell == "" || a.DelaySec <= 0) {
+				t.Errorf("@%gK: degenerate arc record: %+v", corner.TempK, a)
+			}
+		}
+		if len(corner.PowerByClass) == 0 {
+			t.Errorf("@%gK: no power-by-class breakdown", corner.TempK)
+		}
+		var sum float64
+		for _, cp := range corner.PowerByClass {
+			if cp.Cell == "" || (cp.Count <= 0 && cp.Cell != InputNetsClass) {
+				t.Errorf("@%gK: degenerate class power: %+v", corner.TempK, cp)
+			}
+			sum += cp.LeakageW + cp.InternalW + cp.SwitchingW
+		}
+		if rel := math.Abs(sum-corner.TotalW) / corner.TotalW; rel > 1e-9 {
+			t.Errorf("@%gK: power classes sum to %g, corner total %g (rel err %g)",
+				corner.TempK, sum, corner.TotalW, rel)
+		}
 	}
 
 	// JSON round trip.

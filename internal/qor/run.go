@@ -35,6 +35,10 @@ type RunOptions struct {
 	// SPICE-characterized (0 = GOMAXPROCS). Does not affect the QoR metrics
 	// or the cache key — only wall-clock.
 	Workers int
+	// TopPaths is the number of critical endpoint paths recorded per
+	// (circuit, corner) for attribution (0 = DefaultTopPaths; negative
+	// disables path provenance).
+	TopPaths int
 	// CreatedAt stamps the baseline (left empty for golden-stable output).
 	CreatedAt string
 	// Progress, when non-nil, receives human-readable progress lines.
@@ -212,9 +216,17 @@ func loadCorners(ctx context.Context, opt RunOptions) ([]cornerLib, error) {
 	return out, nil
 }
 
+// DefaultTopPaths is the per-corner critical-path record count when
+// RunOptions.TopPaths is zero.
+const DefaultTopPaths = 3
+
 // runOnce runs the full flow for one (circuit, scenario) repetition across
 // all corners and returns the QoR record.
 func runOnce(ctx context.Context, g *aig.AIG, sc synth.Scenario, corners []cornerLib, opt RunOptions) (*Circuit, error) {
+	topK := opt.TopPaths
+	if topK == 0 {
+		topK = DefaultTopPaths
+	}
 	rec := &Circuit{}
 	for _, c := range corners {
 		res, err := synth.Synthesize(ctx, g, c.ml, synth.Options{Scenario: sc, Seed: opt.Seed})
@@ -227,13 +239,13 @@ func runOnce(ctx context.Context, g *aig.AIG, sc synth.Scenario, corners []corne
 		if err != nil {
 			return nil, fmt.Errorf("STA at %g K: %w", c.tempK, err)
 		}
-		rep, err := power.Analyze(ctx, res.Netlist, c.lib, power.Options{
+		rep, cells, err := power.AnalyzeFull(ctx, res.Netlist, c.lib, power.Options{
 			ClockPeriod: opt.ClockSec, Seed: opt.Seed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("power at %g K: %w", c.tempK, err)
 		}
-		rec.Corners = append(rec.Corners, Corner{
+		corner := Corner{
 			TempK:       c.tempK,
 			Gates:       res.Netlist.NumGates(),
 			Area:        res.Netlist.Area(),
@@ -243,9 +255,68 @@ func runOnce(ctx context.Context, g *aig.AIG, sc synth.Scenario, corners []corne
 			LeakageW:    rep.Leakage,
 			DynamicW:    rep.Internal + rep.Switching,
 			TotalW:      rep.Total(),
-		})
+		}
+		if topK > 0 {
+			corner.Paths = toPathRecords(timing.TopPaths(topK, opt.ClockSec))
+			corner.PowerByClass = toClassPower(power.GroupByCell(cells), rep)
+		}
+		rec.Corners = append(rec.Corners, corner)
 	}
 	return rec, nil
+}
+
+// toPathRecords converts the live STA paths into the persisted schema form.
+func toPathRecords(paths []sta.Path) []PathRecord {
+	out := make([]PathRecord, 0, len(paths))
+	for _, p := range paths {
+		pr := PathRecord{
+			Endpoint:   p.Endpoint,
+			ArrivalSec: p.ArrivalSec,
+			SlackSec:   p.SlackSec,
+			Arcs:       make([]ArcRecord, 0, len(p.Arcs)),
+		}
+		for _, a := range p.Arcs {
+			pr.Arcs = append(pr.Arcs, ArcRecord{
+				FromNet:    a.FromNet,
+				ToNet:      a.ToNet,
+				Gate:       a.Gate,
+				Cell:       a.Cell,
+				Pin:        a.FromPin,
+				DelaySec:   a.DelaySec,
+				ArrivalSec: a.ArrivalSec,
+				SlewSec:    a.SlewSec,
+				LoadF:      a.LoadF,
+			})
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// InputNetsClass is the pseudo cell class carrying primary-input net
+// switching power, which no gate instance owns.
+const InputNetsClass = "(input-nets)"
+
+// toClassPower converts the power package's per-class rows into the schema
+// form, adding a pseudo-class for switching power on nets no gate drives
+// (primary inputs) so the breakdown covers the corner totals.
+func toClassPower(classes []power.ClassPower, rep *power.Report) []ClassPower {
+	out := make([]ClassPower, 0, len(classes)+1)
+	var attributed float64
+	for _, c := range classes {
+		out = append(out, ClassPower{
+			Cell:       c.Cell,
+			Count:      c.Count,
+			LeakageW:   c.Leakage,
+			InternalW:  c.Internal,
+			SwitchingW: c.Switching,
+		})
+		attributed += c.Switching
+	}
+	if resid := rep.Switching - attributed; resid > 1e-12*rep.Switching {
+		out = append(out, ClassPower{Cell: InputNetsClass, SwitchingW: resid})
+	}
+	return out
 }
 
 // endpointTNS sums the negative endpoint (primary-output) slacks.
@@ -261,7 +332,9 @@ func endpointTNS(r *sta.Result, nl *netlist.Netlist, clock float64) float64 {
 }
 
 // sameQoR reports whether a repetition reproduced the recorded QoR bit for
-// bit (the flow is seeded, so it should).
+// bit (the flow is seeded, so it should). Path and power-class provenance
+// participates: a wandering critical path is nondeterminism even when the
+// scalar QoR happens to agree.
 func sameQoR(rec *Circuit, rep *Circuit) bool {
 	if rec.AIGNodesOpt != rep.AIGNodesOpt || rec.AIGDepthOpt != rep.AIGDepthOpt {
 		return false
@@ -270,7 +343,37 @@ func sameQoR(rec *Circuit, rep *Circuit) bool {
 		return false
 	}
 	for i := range rec.Corners {
-		if rec.Corners[i] != rep.Corners[i] {
+		if !cornerEqual(&rec.Corners[i], &rep.Corners[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// cornerEqual compares two corner records bit for bit, provenance included.
+func cornerEqual(a, b *Corner) bool {
+	if a.TempK != b.TempK || a.Gates != b.Gates || a.Area != b.Area ||
+		a.CriticalSec != b.CriticalSec || a.WNSSec != b.WNSSec || a.TNSSec != b.TNSSec ||
+		a.LeakageW != b.LeakageW || a.DynamicW != b.DynamicW || a.TotalW != b.TotalW {
+		return false
+	}
+	if len(a.Paths) != len(b.Paths) || len(a.PowerByClass) != len(b.PowerByClass) {
+		return false
+	}
+	for i := range a.Paths {
+		pa, pb := &a.Paths[i], &b.Paths[i]
+		if pa.Endpoint != pb.Endpoint || pa.ArrivalSec != pb.ArrivalSec ||
+			pa.SlackSec != pb.SlackSec || len(pa.Arcs) != len(pb.Arcs) {
+			return false
+		}
+		for j := range pa.Arcs {
+			if pa.Arcs[j] != pb.Arcs[j] {
+				return false
+			}
+		}
+	}
+	for i := range a.PowerByClass {
+		if a.PowerByClass[i] != b.PowerByClass[i] {
 			return false
 		}
 	}

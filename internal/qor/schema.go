@@ -20,7 +20,22 @@ import (
 // JSON shape (renamed/added/removed fields, changed units) must bump this;
 // ReadBaseline refuses mismatched versions loudly rather than diffing
 // garbage, and the golden-file test pins the serialized form.
-const SchemaVersion = 1
+//
+// v2 added per-corner critical-path provenance (Corner.Paths) and the
+// power-by-cell-class breakdown (Corner.PowerByClass) — the records
+// internal/explain attributes QoR deltas with.
+const SchemaVersion = 2
+
+// VersionError is the typed schema-version mismatch ReadBaseline returns;
+// callers gate on it with errors.As.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("qor: baseline schema version %d does not match this binary's version %d; re-record the baseline",
+		e.Got, e.Want)
+}
 
 // Stat summarizes repeated noisy samples of one quantity. Median and IQR
 // (interquartile range) drive the noise-aware diff; min/max/n are kept for
@@ -76,6 +91,46 @@ type Corner struct {
 	LeakageW float64 `json:"leakage_w"`
 	DynamicW float64 `json:"dynamic_w"`
 	TotalW   float64 `json:"total_w"`
+	// Paths records the top-K critical endpoint paths with per-arc
+	// provenance — the substrate internal/explain attributes WNS/TNS
+	// deltas over.
+	Paths []PathRecord `json:"paths,omitempty"`
+	// PowerByClass is the compact power breakdown by library cell
+	// (leakage/internal/switching per cell class).
+	PowerByClass []ClassPower `json:"power_by_class,omitempty"`
+}
+
+// ArcRecord is one hop of a recorded critical path: the liberty arc that
+// propagated the worst arrival onto ToNet (sta.PathArc, persisted).
+type ArcRecord struct {
+	FromNet string `json:"from_net,omitempty"`
+	ToNet   string `json:"to_net"`
+	Gate    string `json:"gate,omitempty"` // empty at the launch point
+	Cell    string `json:"cell,omitempty"`
+	Pin     string `json:"pin,omitempty"` // input pin FromNet enters through
+	// DelaySec is the incremental arc delay; ArrivalSec the cumulative
+	// arrival at ToNet; SlewSec/LoadF the operating point there.
+	DelaySec   float64 `json:"delay_seconds"`
+	ArrivalSec float64 `json:"arrival_seconds"`
+	SlewSec    float64 `json:"slew_seconds"`
+	LoadF      float64 `json:"load_f"`
+}
+
+// PathRecord is one endpoint's worst timing path, launch point first.
+type PathRecord struct {
+	Endpoint   string      `json:"endpoint"`
+	ArrivalSec float64     `json:"arrival_seconds"`
+	SlackSec   float64     `json:"slack_seconds"`
+	Arcs       []ArcRecord `json:"arcs,omitempty"`
+}
+
+// ClassPower is the power attributed to all instances of one library cell.
+type ClassPower struct {
+	Cell       string  `json:"cell"`
+	Count      int     `json:"count"`
+	LeakageW   float64 `json:"leakage_w"`
+	InternalW  float64 `json:"internal_w"`
+	SwitchingW float64 `json:"switching_w"`
 }
 
 // Circuit records one (circuit, scenario) cell of the benchmark matrix:
@@ -149,8 +204,7 @@ func ReadBaseline(r io.Reader) (*Baseline, error) {
 		return nil, fmt.Errorf("qor: parsing baseline: %w", err)
 	}
 	if b.SchemaVersion != SchemaVersion {
-		return nil, fmt.Errorf("qor: baseline schema version %d does not match this binary's version %d; re-record the baseline",
-			b.SchemaVersion, SchemaVersion)
+		return nil, &VersionError{Got: b.SchemaVersion, Want: SchemaVersion}
 	}
 	return b, nil
 }

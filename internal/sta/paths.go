@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/netlist"
 )
 
 // PathArc is one hop of a timing path: the cell arc that propagates the
@@ -11,6 +13,7 @@ import (
 type PathArc struct {
 	FromNet, ToNet string
 	Gate, Cell     string  // empty for the primary-input launch point
+	FromPin        string  // liberty input pin FromNet enters the gate through
 	DelaySec       float64 // incremental arc delay (0 at the launch point)
 	ArrivalSec     float64 // cumulative arrival at ToNet
 	SlewSec        float64 // transition time at ToNet
@@ -50,9 +53,9 @@ func (r *Result) TopPaths(k int, clockPeriod float64) []Path {
 		eps = eps[:k]
 	}
 
-	driver := make(map[string]*struct{ gate, cell string }, len(r.nl.Gates))
-	for _, g := range r.nl.Gates {
-		driver[g.Output] = &struct{ gate, cell string }{g.Name, g.Cell}
+	driver := make(map[string]*netlist.Gate, len(r.nl.Gates))
+	for i := range r.nl.Gates {
+		driver[r.nl.Gates[i].Output] = &r.nl.Gates[i]
 	}
 
 	paths := make([]Path, 0, len(eps))
@@ -76,8 +79,17 @@ func (r *Result) TopPaths(k int, clockPeriod float64) []Path {
 				arc.FromNet = chain[i+1]
 				arc.DelaySec = r.Arrival[net] - r.Arrival[arc.FromNet]
 			}
-			if d := driver[net]; d != nil {
-				arc.Gate, arc.Cell = d.gate, d.cell
+			if g := driver[net]; g != nil {
+				arc.Gate, arc.Cell = g.Name, g.Cell
+				// Name the liberty arc: the input pin FromNet drives.
+				if def := r.nl.Cell(g.Cell); def != nil && arc.FromNet != "" {
+					for pi, in := range g.Inputs {
+						if in == arc.FromNet && pi < len(def.Inputs) {
+							arc.FromPin = def.Inputs[pi]
+							break
+						}
+					}
+				}
 			}
 			p.Arcs = append(p.Arcs, arc)
 		}
@@ -98,15 +110,19 @@ func WritePathReport(w io.Writer, paths []Path) error {
 			i+1, p.Endpoint, p.ArrivalSec*1e12, p.SlackSec*1e12, status); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "  %-16s %-14s %-12s %9s %10s %8s %8s\n",
-			"net", "gate", "cell", "delay(ps)", "arrive(ps)", "slew(ps)", "load(fF)")
+		fmt.Fprintf(w, "  %-16s %-14s %-12s %-5s %9s %10s %8s %8s\n",
+			"net", "gate", "cell", "pin", "delay(ps)", "arrive(ps)", "slew(ps)", "load(fF)")
 		for _, a := range p.Arcs {
 			gate, cell := a.Gate, a.Cell
 			if gate == "" {
 				gate, cell = "<input>", "-"
 			}
-			fmt.Fprintf(w, "  %-16s %-14s %-12s %9.2f %10.2f %8.2f %8.3f\n",
-				a.ToNet, gate, cell, a.DelaySec*1e12, a.ArrivalSec*1e12,
+			pin := a.FromPin
+			if pin == "" {
+				pin = "-"
+			}
+			fmt.Fprintf(w, "  %-16s %-14s %-12s %-5s %9.2f %10.2f %8.2f %8.3f\n",
+				a.ToNet, gate, cell, pin, a.DelaySec*1e12, a.ArrivalSec*1e12,
 				a.SlewSec*1e12, a.LoadF*1e15)
 		}
 	}

@@ -80,7 +80,7 @@ func TestTopPaths(t *testing.T) {
 	if math.Abs(sum-p.ArrivalSec) > 1e-15 {
 		t.Errorf("arc delays sum %g != arrival %g", sum, p.ArrivalSec)
 	}
-	// Every non-launch arc names its driving cell.
+	// Every non-launch arc names its driving cell and entry pin.
 	for _, a := range p.Arcs[1:] {
 		if a.Gate == "" || a.Cell == "" {
 			t.Errorf("arc missing driver: %+v", a)
@@ -88,6 +88,17 @@ func TestTopPaths(t *testing.T) {
 		if a.SlewSec <= 0 {
 			t.Errorf("arc slew not populated: %+v", a)
 		}
+		if a.FromPin == "" {
+			t.Errorf("arc missing liberty input pin: %+v", a)
+		}
+	}
+	// The NAND2x1 into n3 is entered through n2, which is wired to pin A.
+	if last := p.Arcs[len(p.Arcs)-1]; last.FromPin != "A" {
+		t.Errorf("n2->n3 entry pin = %q, want A", last.FromPin)
+	}
+	// The launch arc has no pin (nothing is traversed).
+	if p.Arcs[0].FromPin != "" {
+		t.Errorf("launch arc has a pin: %+v", p.Arcs[0])
 	}
 }
 
