@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-diff bench-record explain paperbench microbench cec clean
+.PHONY: build test race vet fmt check bench bench-diff bench-record explain paperbench microbench cec sim clean
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,19 @@ test:
 # solver state, charlib worker pool, cec fallback miter workers) plus the
 # rest of the tree.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/linalg/... ./internal/spice/... ./internal/charlib/... ./internal/synth/... ./internal/cec/... ./internal/qor/...
+	$(GO) test -race ./internal/obs/... ./internal/linalg/... ./internal/spice/... ./internal/charlib/... ./internal/synth/... ./internal/cec/... ./internal/qor/... ./internal/gsim/...
 
 # Equivalence-checker suite under the race detector (the parallel fallback
 # miter is the flow's most concurrent code path).
 cec:
 	$(GO) test -race -v ./internal/cec/...
+
+# Gate-level simulator suite (docs/GSIM.md) plus a quick end-to-end run:
+# synthesize an EPFL benchmark, simulate it event-driven with annotated
+# delays, and report measured-activity power.
+sim:
+	$(GO) test ./internal/gsim/...
+	$(GO) run ./cmd/cryosim -vectors 256 -power epfl:ctrl
 
 vet:
 	$(GO) vet ./...

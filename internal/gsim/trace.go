@@ -1,0 +1,75 @@
+package gsim
+
+import (
+	"io"
+
+	"repro/internal/vcd"
+)
+
+// VCDTracer streams committed net changes to a VCD file through the shared
+// internal/vcd encoder: every net becomes a `$var wire 1` scalar, and the
+// initial $dumpvars block records the all-X pre-stimulus state, so glitch
+// pulses land in the same viewers the analog cryospice dumps open in.
+type VCDTracer struct {
+	enc  *vcd.Writer
+	vars []vcd.Var
+	last int64 // last declared timestamp; -1 before begin
+}
+
+// NewVCDTracer declares the model's nets (in index order) against out.
+// Timescale is 1 fs, matching the engines' timestamps.
+func NewVCDTracer(out io.Writer, m *Model, date string) *VCDTracer {
+	enc := vcd.NewWriter(out)
+	enc.Date(date)
+	enc.Version("cryosim gate-level")
+	enc.Timescale("1fs")
+	enc.Scope(m.Name)
+	t := &VCDTracer{enc: enc, vars: make([]vcd.Var, len(m.Nets)), last: -1}
+	for i, name := range m.Nets {
+		t.vars[i] = enc.Wire(name)
+	}
+	enc.EndHeader()
+	return t
+}
+
+// begin dumps the initial state of every net at time 0.
+func (t *VCDTracer) begin(cur []Value) error {
+	t.enc.Time(0)
+	t.last = 0
+	for i, v := range cur {
+		t.enc.SetScalar(t.vars[i], scalarByte(v))
+	}
+	return t.enc.Err()
+}
+
+// change records one committed net update. The timestamp is only re-declared
+// when time advances, so a burst of same-instant commits shares one `#t`.
+func (t *VCDTracer) change(timeFs int64, net int32, v Value) {
+	if timeFs != t.last {
+		t.enc.Time(timeFs)
+		t.last = timeFs
+	}
+	t.enc.SetScalar(t.vars[net], scalarByte(v))
+}
+
+// time advances the pending timestamp (used to stamp the end of the run).
+func (t *VCDTracer) time(timeFs int64) {
+	if timeFs != t.last {
+		t.enc.Time(timeFs)
+		t.last = timeFs
+	}
+}
+
+// Close finishes the stream and returns the first write error.
+func (t *VCDTracer) Close() error { return t.enc.Close() }
+
+func scalarByte(v Value) byte {
+	switch v {
+	case V0:
+		return vcd.Scalar0
+	case V1:
+		return vcd.Scalar1
+	default:
+		return vcd.ScalarX
+	}
+}

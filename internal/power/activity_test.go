@@ -1,0 +1,113 @@
+package power
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/gsim"
+	"repro/internal/netlist"
+	"repro/internal/testlib"
+)
+
+// TestMeasuredActivityMatchesModel pins the ActivitySource contract: a
+// zero-delay gsim run over the same seeded stimulus stream the statistical
+// model draws must reproduce the model's power report (the activity maps are
+// bit-identical, so the only slack allowed is float summation noise).
+func TestMeasuredActivityMatchesModel(t *testing.T) {
+	ctx := context.Background()
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	nl := demoNetlist(used)
+
+	const rounds, seed = 8, 3
+	model, err := Analyze(ctx, nl, lib, Options{ClockPeriod: 1e-9, SimRounds: rounds, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := gsim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gsim.NewLevelized(m).Run(ctx, m.RandomVectors(rounds*64, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := Analyze(ctx, nl, lib, Options{ClockPeriod: 1e-9, Activity: res.Activity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if measured.Leakage != model.Leakage {
+		t.Errorf("leakage: measured %v, model %v", measured.Leakage, model.Leakage)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"internal", measured.Internal, model.Internal},
+		{"switching", measured.Switching, model.Switching},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("%s: measured %v, model %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestGlitchPowerExceedsZeroDelay is the acceptance fixture: on the hazard
+// circuit y = XOR(a, INV(INV(a))), event-driven measured activity sees the
+// glitch pulses a zero-delay model provably cannot, so the measured dynamic
+// power must come out strictly higher.
+func TestGlitchPowerExceedsZeroDelay(t *testing.T) {
+	ctx := context.Background()
+	lib, used := testlib.Build(catalog, testlib.Names(), 300)
+	nl := netlist.New("glitch", used)
+	nl.Inputs = []string{"a"}
+	nl.Outputs = []string{"y"}
+	for _, g := range []struct {
+		cell string
+		in   []string
+		out  string
+	}{
+		{"INVx1", []string{"a"}, "n1"},
+		{"INVx1", []string{"n1"}, "n2"},
+		{"XOR2x1", []string{"a", "n2"}, "y"},
+	} {
+		if err := nl.AddGate(g.cell, g.in, g.out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := gsim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clock-like input: a toggles every vector, the worst case for hazards.
+	vectors := make([]gsim.Vector, 256)
+	for v := range vectors {
+		vectors[v] = gsim.Vector{v%2 == 1}
+	}
+	zero, err := gsim.NewLevelized(m).Run(ctx, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glitchy, err := gsim.NewEvent(m, gsim.EventOptions{}).Run(ctx, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repZero, err := Analyze(ctx, nl, lib, Options{ClockPeriod: 1e-9, Activity: zero.Activity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repGlitch, err := Analyze(ctx, nl, lib, Options{ClockPeriod: 1e-9, Activity: glitchy.Activity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroDyn := repZero.Internal + repZero.Switching
+	glitchDyn := repGlitch.Internal + repGlitch.Switching
+	if glitchDyn <= zeroDyn {
+		t.Errorf("glitch-aware dynamic power %v not above zero-delay %v", glitchDyn, zeroDyn)
+	}
+	if repGlitch.Leakage != repZero.Leakage {
+		t.Errorf("leakage must not depend on activity: %v vs %v", repGlitch.Leakage, repZero.Leakage)
+	}
+}

@@ -15,12 +15,25 @@ import (
 	"repro/internal/sta"
 )
 
+// ActivitySource supplies per-net switching activity (toggles per cycle,
+// keyed by net name) for a netlist, replacing the built-in random-vector
+// statistical model. internal/gsim's measured Result.Activity satisfies it
+// structurally, so simulated vector traces — glitches included — can drive
+// the same power report.
+type ActivitySource interface {
+	NetActivity(nl *netlist.Netlist) (map[string]float64, error)
+}
+
 // Options configures a power run.
 type Options struct {
 	ClockPeriod float64 // cycle time used to convert per-cycle energy to watts
 	SimRounds   int     // 64-vector rounds for activity extraction (default 8)
 	Seed        int64
 	STA         sta.Options
+	// Activity, when non-nil, overrides the random-vector activity model
+	// (SimRounds/Seed are then unused). Nets absent from the source are
+	// treated as quiet.
+	Activity ActivitySource
 }
 
 // Report is the power breakdown in watts.
@@ -71,9 +84,19 @@ func AnalyzeFull(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library,
 	if err != nil {
 		return nil, nil, err
 	}
-	rates, err := nl.ToggleRates(opt.SimRounds, opt.Seed)
-	if err != nil {
-		return nil, nil, err
+	var rates map[string]float64
+	if opt.Activity != nil {
+		rates, err = opt.Activity.NetActivity(nl)
+		if err != nil {
+			return nil, nil, fmt.Errorf("power: activity source: %w", err)
+		}
+		span.SetAttr("activity", "measured")
+		obs.C("power.measured_activity").Inc()
+	} else {
+		rates, err = nl.ToggleRates(opt.SimRounds, opt.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	rep := &Report{ClockPeriod: opt.ClockPeriod}
 	freq := 1.0 / opt.ClockPeriod

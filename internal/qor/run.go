@@ -235,6 +235,9 @@ func runOnce(ctx context.Context, g *aig.AIG, sc synth.Scenario, corners []corne
 		}
 		rec.AIGNodesOpt = res.NodesPower
 		rec.AIGDepthOpt = res.DepthOut
+		if err := signoffFunctional(ctx, g, res.Netlist, opt.Seed); err != nil {
+			return nil, fmt.Errorf("functional signoff at %g K: %w", c.tempK, err)
+		}
 		timing, err := sta.Analyze(ctx, res.Netlist, c.lib, sta.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("STA at %g K: %w", c.tempK, err)

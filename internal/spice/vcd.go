@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/vcd"
 )
 
 // WriteVCD dumps the waveform as a Value Change Dump file (IEEE 1364) with
@@ -12,6 +14,10 @@ import (
 // integers, and femtoseconds keep sub-picosecond transition detail without
 // overflowing int64 for any realistic transient window. Samples that repeat
 // the previous value are elided per VCD convention.
+//
+// The encoding itself lives in internal/vcd, shared with the gate-level
+// simulator's logic dumps; this wrapper only maps circuit nodes onto real
+// variables and sample times onto femtosecond timestamps.
 //
 // nodes selects which signals to dump; nil dumps every non-ground node in
 // the circuit, sorted by name.
@@ -32,79 +38,22 @@ func (w *Waveform) WriteVCD(out io.Writer, date string, nodes []string) error {
 		ids[i] = id
 	}
 
-	bw := &errWriter{w: out}
-	if date != "" {
-		bw.printf("$date %s $end\n", date)
-	}
-	bw.printf("$version cryospice transient $end\n")
-	bw.printf("$timescale 1fs $end\n")
-	bw.printf("$scope module cryospice $end\n")
+	enc := vcd.NewWriter(out)
+	enc.Date(date)
+	enc.Version("cryospice transient")
+	enc.Timescale("1fs")
+	enc.Scope("cryospice")
+	vars := make([]vcd.Var, len(nodes))
 	for i, n := range nodes {
-		bw.printf("$var real 64 %s %s $end\n", vcdCode(i), vcdIdent(n))
+		vars[i] = enc.Real(n)
 	}
-	bw.printf("$upscope $end\n$enddefinitions $end\n")
+	enc.EndHeader()
 
-	last := make([]float64, len(ids))
 	for s := range w.Time {
-		stamped := false
+		enc.Time(int64(w.Time[s]*1e15 + 0.5))
 		for i, id := range ids {
-			v := w.samples[s][id]
-			if s > 0 && v == last[i] {
-				continue
-			}
-			if !stamped {
-				bw.printf("#%d\n", int64(w.Time[s]*1e15+0.5))
-				if s == 0 {
-					bw.printf("$dumpvars\n")
-				}
-				stamped = true
-			}
-			bw.printf("r%.9g %s\n", v, vcdCode(i))
-			last[i] = v
-		}
-		if s == 0 && stamped {
-			bw.printf("$end\n")
+			enc.SetReal(vars[i], w.samples[s][id])
 		}
 	}
-	return bw.err
-}
-
-// vcdCode yields the compact printable-ASCII identifier code for variable i
-// (the '!'..'~' base-94 encoding VCD tools expect).
-func vcdCode(i int) string {
-	const lo, n = 33, 94 // '!' through '~'
-	code := []byte{byte(lo + i%n)}
-	for i /= n; i > 0; i /= n {
-		code = append(code, byte(lo+i%n))
-	}
-	return string(code)
-}
-
-// vcdIdent sanitizes a name into a VCD identifier (no whitespace).
-func vcdIdent(s string) string {
-	out := make([]byte, len(s))
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c <= ' ' || c == 0x7f {
-			c = '_'
-		}
-		out[i] = c
-	}
-	if len(out) == 0 {
-		return "top"
-	}
-	return string(out)
-}
-
-// errWriter latches the first write error so the dump loop stays linear.
-type errWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (e *errWriter) printf(format string, args ...any) {
-	if e.err != nil {
-		return
-	}
-	_, e.err = fmt.Fprintf(e.w, format, args...)
+	return enc.Close()
 }

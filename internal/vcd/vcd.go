@@ -1,0 +1,212 @@
+// Package vcd is the shared Value Change Dump (IEEE 1364) encoder used by
+// every waveform producer in the flow: internal/spice dumps analog node
+// voltages as `real` variables, internal/gsim dumps logic values as 1-bit
+// `wire` variables (0/1/x/z). One writer means one set of framing rules —
+// identifier-code allocation, timestamp elision, the $dumpvars block — so
+// the two simulators' dumps open identically in GTKWave and friends.
+//
+// The encoder is deliberately low-level and deterministic:
+//
+//   - variables are declared in order; the i-th declaration gets the i-th
+//     base-94 printable identifier code ('!', '"', ... as VCD tools expect);
+//   - timestamps are lazy: Time(t) only records the pending time, and the
+//     `#t` line is emitted when the first value change at that time arrives,
+//     so quiet sample points leave no trace in the file;
+//   - repeated values are elided per VCD convention (the first write of a
+//     variable is always emitted, so the $dumpvars block is complete);
+//   - the first emitted timestamp opens a `$dumpvars` block that is closed
+//     with `$end` at the next timestamp (or at Close).
+//
+// Write errors are latched: the first error stops all output and is
+// returned by Err/Close, keeping dump loops linear.
+package vcd
+
+import (
+	"fmt"
+	"io"
+)
+
+// Var identifies a declared VCD variable.
+type Var int
+
+// Scalar logic values accepted by SetScalar.
+const (
+	Scalar0 byte = '0'
+	Scalar1 byte = '1'
+	ScalarX byte = 'x'
+	ScalarZ byte = 'z'
+)
+
+// varState tracks one declared variable's emission state.
+type varState struct {
+	code    string // base-94 identifier code
+	isReal  bool
+	lastR   float64
+	lastS   byte
+	written bool // first write always emitted
+}
+
+// Writer streams one VCD file.
+type Writer struct {
+	w   io.Writer
+	err error
+
+	vars        []varState
+	headerDone  bool
+	started     bool  // first timestamp emitted
+	dumpOpen    bool  // inside the initial $dumpvars block
+	pending     int64 // timestamp awaiting its first value change
+	havePending bool
+	lastStamped int64
+}
+
+// NewWriter wraps out. The caller declares the header (Date/Version/
+// Timescale/Scope/variables/EndHeader), then alternates Time and Set calls,
+// and finishes with Close.
+func NewWriter(out io.Writer) *Writer { return &Writer{w: out} }
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// Date emits the $date header line; empty date emits nothing.
+func (w *Writer) Date(date string) {
+	if date != "" {
+		w.printf("$date %s $end\n", date)
+	}
+}
+
+// Version emits the $version header line; empty version emits nothing.
+func (w *Writer) Version(version string) {
+	if version != "" {
+		w.printf("$version %s $end\n", version)
+	}
+}
+
+// Timescale emits the $timescale header line (e.g. "1fs").
+func (w *Writer) Timescale(scale string) {
+	w.printf("$timescale %s $end\n", scale)
+}
+
+// Scope opens a module scope.
+func (w *Writer) Scope(module string) {
+	w.printf("$scope module %s $end\n", Ident(module))
+}
+
+// Real declares a 64-bit real variable and returns its handle.
+func (w *Writer) Real(name string) Var {
+	v := Var(len(w.vars))
+	w.vars = append(w.vars, varState{code: Code(int(v)), isReal: true})
+	w.printf("$var real 64 %s %s $end\n", w.vars[v].code, Ident(name))
+	return v
+}
+
+// Wire declares a 1-bit scalar wire variable and returns its handle.
+func (w *Writer) Wire(name string) Var {
+	v := Var(len(w.vars))
+	w.vars = append(w.vars, varState{code: Code(int(v))})
+	w.printf("$var wire 1 %s %s $end\n", w.vars[v].code, Ident(name))
+	return v
+}
+
+// EndHeader closes the scope and the definitions section.
+func (w *Writer) EndHeader() {
+	w.printf("$upscope $end\n$enddefinitions $end\n")
+	w.headerDone = true
+}
+
+// Time declares the timestamp for subsequent value changes. The `#t` line
+// is only written when a value change actually follows (VCD files elide
+// quiet sample points). Timestamps must be non-decreasing.
+func (w *Writer) Time(t int64) {
+	w.pending = t
+	w.havePending = true
+}
+
+// stamp flushes the pending timestamp ahead of a value change.
+func (w *Writer) stamp() {
+	if !w.havePending {
+		return
+	}
+	if w.dumpOpen {
+		w.printf("$end\n")
+		w.dumpOpen = false
+	}
+	w.printf("#%d\n", w.pending)
+	if !w.started {
+		w.printf("$dumpvars\n")
+		w.started = true
+		w.dumpOpen = true
+	}
+	w.lastStamped = w.pending
+	w.havePending = false
+}
+
+// SetReal records a real variable's value at the current time, eliding
+// repeats after the first write.
+func (w *Writer) SetReal(v Var, x float64) {
+	st := &w.vars[v]
+	if st.written && x == st.lastR {
+		return
+	}
+	w.stamp()
+	w.printf("r%.9g %s\n", x, st.code)
+	st.lastR = x
+	st.written = true
+}
+
+// SetScalar records a 1-bit variable's value ('0', '1', 'x', or 'z') at the
+// current time, eliding repeats after the first write.
+func (w *Writer) SetScalar(v Var, val byte) {
+	st := &w.vars[v]
+	if st.written && val == st.lastS {
+		return
+	}
+	w.stamp()
+	w.printf("%c%s\n", val, st.code)
+	st.lastS = val
+	st.written = true
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close finishes the stream (closing an open $dumpvars block) and returns
+// the first write error. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.dumpOpen {
+		w.printf("$end\n")
+		w.dumpOpen = false
+	}
+	return w.err
+}
+
+// Code yields the compact printable-ASCII identifier code for variable i
+// (the '!'..'~' base-94 encoding VCD tools expect).
+func Code(i int) string {
+	const lo, n = 33, 94 // '!' through '~'
+	code := []byte{byte(lo + i%n)}
+	for i /= n; i > 0; i /= n {
+		code = append(code, byte(lo+i%n))
+	}
+	return string(code)
+}
+
+// Ident sanitizes a name into a VCD identifier (no whitespace).
+func Ident(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == 0x7f {
+			c = '_'
+		}
+		out[i] = c
+	}
+	if len(out) == 0 {
+		return "top"
+	}
+	return string(out)
+}

@@ -1,0 +1,168 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScalarDump(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Date("today")
+	w.Version("gsim test")
+	w.Timescale("1fs")
+	w.Scope("top")
+	a := w.Wire("a")
+	b := w.Wire("b two") // whitespace sanitized
+	w.EndHeader()
+
+	w.Time(0)
+	w.SetScalar(a, ScalarX)
+	w.SetScalar(b, Scalar0)
+	w.Time(10)
+	w.SetScalar(a, Scalar1)
+	w.SetScalar(b, Scalar0) // repeat: elided
+	w.Time(20)              // quiet: no timestamp
+	w.Time(30)
+	w.SetScalar(a, Scalar0)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got := buf.String()
+	want := strings.Join([]string{
+		"$date today $end",
+		"$version gsim test $end",
+		"$timescale 1fs $end",
+		"$scope module top $end",
+		"$var wire 1 ! a $end",
+		"$var wire 1 \" b_two $end",
+		"$upscope $end",
+		"$enddefinitions $end",
+		"#0",
+		"$dumpvars",
+		"x!",
+		"0\"",
+		"$end",
+		"#10",
+		"1!",
+		"#30",
+		"0!",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("scalar dump mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRealAndScalarMix(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Timescale("1fs")
+	w.Scope("mix")
+	r := w.Real("v")
+	s := w.Wire("d")
+	w.EndHeader()
+	w.Time(0)
+	w.SetReal(r, 0.5)
+	w.SetScalar(s, Scalar1)
+	w.Time(5)
+	w.SetReal(r, 0.5) // elided
+	w.SetScalar(s, Scalar0)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"$var real 64 ! v $end",
+		"$var wire 1 \" d $end",
+		"r0.5 !\n",
+		"1\"\n",
+		"#5\n0\"\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "r0.5 !") != 1 {
+		t.Errorf("repeated real value not elided:\n%s", got)
+	}
+}
+
+// TestDumpvarsClosedWithoutSecondTimestamp: a single-timestamp dump must
+// still close its $dumpvars block at Close.
+func TestDumpvarsClosedWithoutSecondTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Timescale("1fs")
+	w.Scope("one")
+	a := w.Wire("a")
+	w.EndHeader()
+	w.Time(0)
+	w.SetScalar(a, Scalar1)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !strings.HasSuffix(buf.String(), "$dumpvars\n1!\n$end\n") {
+		t.Errorf("dumpvars block not closed:\n%s", buf.String())
+	}
+}
+
+func TestCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c := Code(i)
+		if seen[c] {
+			t.Fatalf("Code collision at %d: %q", i, c)
+		}
+		seen[c] = true
+		for j := 0; j < len(c); j++ {
+			if c[j] < 33 || c[j] > 126 {
+				t.Fatalf("Code(%d) has non-printable byte %d", i, c[j])
+			}
+		}
+	}
+}
+
+func TestIdent(t *testing.T) {
+	if got := Ident("a b\tc"); got != "a_b_c" {
+		t.Errorf("Ident sanitization: got %q", got)
+	}
+	if got := Ident(""); got != "top" {
+		t.Errorf("Ident empty: got %q", got)
+	}
+}
+
+// errSink fails after n bytes to exercise error latching.
+type errSink struct{ n int }
+
+func (e *errSink) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, errWrite
+	}
+	e.n -= len(p)
+	return len(p), nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink full" }
+
+func TestErrorLatched(t *testing.T) {
+	w := NewWriter(&errSink{n: 10})
+	w.Timescale("1fs")
+	w.Scope("x")
+	a := w.Wire("a")
+	w.EndHeader()
+	w.Time(0)
+	w.SetScalar(a, Scalar1)
+	if err := w.Close(); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() did not latch")
+	}
+}
