@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-diff bench-record explain paperbench microbench cec sim clean
+.PHONY: build test race vet fmt check bench bench-diff bench-record explain trend paperbench microbench cec sim clean
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,16 @@ check: build vet fmt test race
 # the two most recent BENCH_*.json recordings without running the flow.
 BENCH_PROFILE ?= smoke
 BENCH_REPEAT  ?= 2
+BENCH_HISTORY ?= bench/history.jsonl
 
 bench:
 	$(GO) run ./cmd/cryobench -profile $(BENCH_PROFILE) -repeat $(BENCH_REPEAT) \
+		-history $(BENCH_HISTORY) \
 		-out build/BENCH_latest.json -baseline bench/baseline-$(BENCH_PROFILE).json
 
 bench-record:
 	$(GO) run ./cmd/cryobench -profile $(BENCH_PROFILE) -repeat $(BENCH_REPEAT) \
+		-history $(BENCH_HISTORY) \
 		-out bench/baseline-$(BENCH_PROFILE).json
 
 bench-diff:
@@ -69,6 +72,15 @@ explain:
 		bench/baseline-$(BENCH_PROFILE).json bench/baseline-$(BENCH_PROFILE).json
 	@grep -q '"zero_delta": true' build/self-explain.json && \
 		echo "explain: self-diff is zero-delta, OK"
+
+# Run-over-run drift table from the metrics history store that `make bench`
+# appends to (docs/OBSERVABILITY.md). TREND_GLOB subsets the metrics.
+TREND_LAST ?= 8
+TREND_GLOB ?= *
+
+trend:
+	$(GO) run ./cmd/cryoobs trend -history $(BENCH_HISTORY) \
+		-last $(TREND_LAST) -glob '$(TREND_GLOB)'
 
 # Go microbenchmarks (the paper-benchmark target predating cryobench).
 paperbench:

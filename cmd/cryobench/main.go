@@ -62,6 +62,13 @@ func main() {
 		explainJSON:   *explainJSON,
 	}
 
+	// Activate before any mode dispatch so -journal/-history/-progress work
+	// in diff mode too (a diff is a run worth recording).
+	flush, err := obsFlags.Activate()
+	exitOn(err)
+	flushObs = flush
+	defer flush()
+
 	if *diffMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: cryobench -diff <base.json> <current.json>")
@@ -71,13 +78,11 @@ func main() {
 		exitOn(err)
 		cur, err := qor.ReadBaselineFile(flag.Arg(1))
 		exitOn(err)
-		os.Exit(reportDiff(base, cur, cfg))
+		obs.HistoryAddQoR(cur.FlatMetrics())
+		code := reportDiff(base, cur, cfg)
+		flushObs()
+		os.Exit(code)
 	}
-
-	flush, err := obsFlags.Activate()
-	exitOn(err)
-	flushObs = flush
-	defer flush()
 
 	prof, err := qor.FindProfile(*profileName)
 	exitOn(err)
@@ -104,6 +109,7 @@ func main() {
 	t0 := time.Now()
 	b, err := qor.Run(context.Background(), opt)
 	exitOn(err)
+	obs.HistoryAddQoR(b.FlatMetrics())
 	fmt.Fprintf(os.Stderr, "recorded %d circuit records in %.1fs\n", len(b.Circuits), time.Since(t0).Seconds())
 
 	outPath := *out

@@ -4,17 +4,24 @@
 //	cryoobs report  [-o report.md] [-run <id>] journal.jsonl...  # markdown post-mortem
 //	cryoobs summary journal.jsonl...                             # one line per run
 //	cryoobs tail    [-n 20] [-kind failure] journal.jsonl...     # last N events
+//	cryoobs tail    -f [-poll 500ms] journal.jsonl               # follow a live journal
 //	cryoobs merge   journal.jsonl...                             # merged JSONL to stdout
 //	cryoobs explain [-o report.md] [-md] journal-a journal-b     # cross-run attribution
+//	cryoobs trend   [-history bench/history.jsonl] [-glob ...]   # run-over-run metric trends
 //
 // report renders per-run stage timelines, failure sites ranked by
-// recurrence, and the worst-converging devices and nodes decoded from
-// SPICE nonconvergence diagnoses. merge interleaves journals from several
+// recurrence, watchdog stall post-mortems (active span stack + goroutine
+// dump), and the worst-converging devices and nodes decoded from SPICE
+// nonconvergence diagnoses. merge interleaves journals from several
 // binaries of one flow invocation by wall-clock time, preserving run IDs,
 // so a single file can feed later analysis. explain diffs two journal
 // runs (A = baseline, B = current): stage wall-time shifts always, plus
 // full QoR attribution when both journals attest to a cryobench baseline
-// artifact that is still intact on disk (SHA-256 verified).
+// artifact that is still intact on disk (SHA-256 verified). trend reads
+// the append-only metrics history store (the -history flag every flow
+// binary shares) and renders run-over-run tables for glob-selected
+// metrics, flagging values that drift outside the noise band of their own
+// history.
 //
 // Exit status: 0 on success (report/summary exit 0 even when the journal
 // records failures — the journal being readable is the success condition),
@@ -26,10 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/explain"
 	"repro/internal/forensics"
 	"repro/internal/obs"
+	"repro/internal/qor"
 )
 
 func main() {
@@ -48,6 +58,8 @@ func main() {
 		cmdMerge(args)
 	case "explain":
 		cmdExplain(args)
+	case "trend":
+		cmdTrend(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -61,20 +73,32 @@ func usage() {
 
 commands:
   report   render a markdown post-mortem (stage timeline, failure sites
-           ranked by recurrence, worst-converging devices/nodes)
+           ranked by recurrence, stalls, worst-converging devices/nodes)
   summary  one-line status per run
-  tail     pretty-print the last events
+  tail     pretty-print the last events; -f follows a live journal
   merge    merge journals by time into one JSONL stream on stdout
   explain  attribute the QoR and runtime difference between two journal
-           runs: cryoobs explain <journal-a> <journal-b>`)
+           runs: cryoobs explain <journal-a> <journal-b>
+  trend    run-over-run metric trend tables from the -history store:
+           cryoobs trend [-history bench/history.jsonl] [-glob spice.*]`)
 	os.Exit(2)
+}
+
+// activate applies the shared obs flags (every subcommand carries the full
+// surface, like every other flow binary) and schedules the flush.
+func activate(of *obs.Flags) func() {
+	flush, err := of.Activate()
+	check(err)
+	return flush
 }
 
 func cmdExplain(args []string) {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
 	out := fs.String("o", "", "write the report to this file instead of stdout")
 	md := fs.Bool("md", false, "render markdown instead of the console report")
 	fs.Parse(args)
+	defer activate(of)()
 	if fs.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: cryoobs explain [-o report.md] [-md] <journal-a> <journal-b>")
 		os.Exit(2)
@@ -102,9 +126,11 @@ func cmdExplain(args []string) {
 
 func cmdReport(args []string) {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
 	out := fs.String("o", "", "write the report to this file instead of stdout")
 	run := fs.String("run", "", "restrict the report to one run ID")
 	fs.Parse(args)
+	defer activate(of)()
 	evs := loadArgs(fs)
 	if *run != "" {
 		evs = forensics.FilterRun(evs, *run)
@@ -122,17 +148,31 @@ func cmdReport(args []string) {
 
 func cmdSummary(args []string) {
 	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
 	fs.Parse(args)
+	defer activate(of)()
 	evs := loadArgs(fs)
 	check(forensics.Build(evs).WriteSummary(os.Stdout))
 }
 
 func cmdTail(args []string) {
 	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
 	n := fs.Int("n", 20, "number of trailing events to print")
 	kind := fs.String("kind", "", "only events of this kind (e.g. failure, artifact)")
 	run := fs.String("run", "", "only events of this run ID")
+	follow := fs.Bool("f", false, "follow mode: poll the journal and print events as they are appended (single journal; tolerates the file not existing yet)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "follow-mode poll interval")
 	fs.Parse(args)
+	defer activate(of)()
+	if *follow {
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "cryoobs: tail -f follows exactly one journal file")
+			os.Exit(2)
+		}
+		followTail(fs.Arg(0), *kind, *run, *poll)
+		return
+	}
 	evs := loadArgs(fs)
 	if *run != "" {
 		evs = forensics.FilterRun(evs, *run)
@@ -148,13 +188,84 @@ func cmdTail(args []string) {
 	}
 }
 
+// followTail prints the journal from its start and keeps polling for
+// appended events until interrupted.
+func followTail(path, kind, run string, poll time.Duration) {
+	fol := forensics.NewFollower(path)
+	for {
+		evs, err := fol.Poll()
+		check(err)
+		for i := range evs {
+			e := &evs[i]
+			if run != "" && e.Run != run {
+				continue
+			}
+			if kind != "" && e.Kind != kind {
+				continue
+			}
+			check(forensics.WriteEvent(os.Stdout, e))
+		}
+		time.Sleep(poll)
+	}
+}
+
 func cmdMerge(args []string) {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
 	fs.Parse(args)
+	defer activate(of)()
 	evs := loadArgs(fs)
 	enc := json.NewEncoder(os.Stdout)
 	for i := range evs {
 		check(enc.Encode(&evs[i]))
+	}
+}
+
+func cmdTrend(args []string) {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
+	last := fs.Int("last", 8, "only the most recent N runs (0 = all)")
+	glob := fs.String("glob", "*", "comma-separated metric globs ('*' matches any run of characters), e.g. 'spice.solver.*,stage.*'")
+	md := fs.Bool("md", false, "render a markdown table instead of text")
+	asJSON := fs.Bool("json", false, "emit the trend report as JSON")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	fs.Parse(args)
+	// The shared -history flag names the store to READ here; clear it before
+	// activation so trend does not append a record about itself to the store
+	// it is reporting on.
+	hist := of.HistoryPath
+	if hist == "" {
+		hist = "bench/history.jsonl"
+	}
+	of.HistoryPath = ""
+	defer activate(of)()
+	recs, err := obs.ReadHistoryFile(hist)
+	check(err)
+	if len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "cryoobs: %s holds no history records\n", hist)
+		os.Exit(2)
+	}
+	var globs []string
+	for _, g := range strings.Split(*glob, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			globs = append(globs, g)
+		}
+	}
+	rep := forensics.Trend(recs, globs, *last, qor.DefaultThresholds())
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case *asJSON:
+		check(rep.WriteJSON(w))
+	case *md:
+		check(rep.WriteMarkdown(w))
+	default:
+		check(rep.WriteText(w))
 	}
 }
 

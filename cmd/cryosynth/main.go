@@ -168,10 +168,13 @@ func runFig3(ctx context.Context, names []string, ml *mapper.MatchLibrary, lib *
 		"circuit", "base(uW)", "pad dP%", "pda dP%", "pad dD%", "pda dD%")
 	var sumPAD, sumPDA, sumDPAD, sumDPDA float64
 	count := 0
+	task := obs.Progress("synth.fig3", int64(len(names)))
+	defer task.Finish()
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		check(err)
 		cmp, err := synth.Compare(ctx, g, ml, lib, synth.FlowOptions{Seed: seed})
+		task.Inc()
 		if err != nil {
 			fmt.Printf("%-12s FAILED: %v\n", name, err)
 			continue
@@ -220,6 +223,8 @@ func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, see
 	scenarios := []synth.Scenario{synth.BaselinePowerAware, synth.CryoPAD, synth.CryoPDA}
 	ok := true
 	var records []verifyRecord
+	task := obs.Progress("synth.verify", int64(len(names))*int64(len(scenarios)))
+	defer task.Finish()
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		check(err)
@@ -228,6 +233,7 @@ func runVerify(ctx context.Context, names []string, ml *mapper.MatchLibrary, see
 			check(err)
 			rep, err := synth.SignoffVerify(ctx, g, res, cec.Options{Seed: seed})
 			check(err)
+			task.Inc()
 			result := "PASS"
 			if !rep.OK() {
 				result = "FAIL"
@@ -270,9 +276,12 @@ func runBreakdown(ctx context.Context, names []string, ml300, ml10 *mapper.Match
 	type acc struct{ leak, internal, sw float64 }
 	var a300, a10 acc
 	count := 0
+	task := obs.Progress("synth.breakdown", int64(len(names)))
+	defer task.Finish()
 	for _, name := range names {
 		g, err := epfl.Build(name)
 		check(err)
+		task.Inc()
 		for _, corner := range []struct {
 			ml  *mapper.MatchLibrary
 			lib *liberty.Library

@@ -103,12 +103,16 @@ func newSweeper(m *aig.AIG, opt Options, stats *Stats) *sweeper {
 func (s *sweeper) sweep(ctx context.Context) {
 	_, span := obs.Start(ctx, "cec.sweep")
 	defer span.End()
-	for v := s.m.NumPIs() + 1; v < s.m.NumVars(); v++ {
+	first := s.m.NumPIs() + 1
+	nodes := obs.Progress("cec.sweep", int64(s.m.NumVars()-first))
+	defer nodes.Finish()
+	for v := first; v < s.m.NumVars(); v++ {
 		f0, f1 := s.m.Fanins(v)
 		a := s.lift[f0.Var()].NotIf(f0.IsCompl())
 		b := s.lift[f1.Var()].NotIf(f1.IsCompl())
 		s.lift[v] = s.red.And(a, b)
 		s.mergeOrRegister(v)
+		nodes.Inc()
 	}
 	s.stats.ReducedNodes = s.red.NumNodes()
 	span.SetAttr("miter_nodes", s.stats.MiterNodes)

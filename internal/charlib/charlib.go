@@ -115,6 +115,8 @@ func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cf
 	lib := &liberty.Library{Name: name, TempK: cfg.TempK, Vdd: cfg.Vdd}
 	results := make([]*liberty.Cell, len(cells))
 	errs := make([]error, len(cells))
+	cellsTask := obs.Progress("charlib.cells", int64(len(cells)))
+	arcsTask := obs.Progress("charlib.arcs", 0)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	done := 0
@@ -128,6 +130,7 @@ func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cf
 			defer func() { <-sem }()
 			lc, err := characterizeCell(ctx, c, cfg, work)
 			results[i], errs[i] = lc, err
+			cellsTask.Inc()
 			if progress != nil {
 				mu.Lock()
 				done++
@@ -137,6 +140,8 @@ func CharacterizeLibrary(ctx context.Context, name string, cells []*pdk.Cell, cf
 		}(i, c)
 	}
 	wg.Wait()
+	cellsTask.Finish()
+	arcsTask.Finish()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("charlib: cell %s: %w", cells[i].Name, err)
@@ -218,6 +223,10 @@ type arcResult struct {
 // drain through the shared worker pool) and assembles the liberty view in
 // deterministic pin/arc order, independent of completion order.
 func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
+	// The arc task is shared across all cells of the library run; each cell
+	// grows its total as it plans arcs (incremental discovery), so the
+	// percentage stays honest while the plan is still unfolding.
+	arcsTask := obs.Progress("charlib.arcs", 0)
 	lc := &liberty.Cell{
 		Name:       cell.Name,
 		Area:       cell.Area(),
@@ -262,11 +271,13 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 		if cell.Seq {
 			pa.ins = []string{cell.Clock}
 			pa.res = make([]arcResult, 1)
+			arcsTask.AddTotal(1)
 			wg.Add(1)
 			go func(out string, slot *arcResult) {
 				defer wg.Done()
 				t0 := time.Now()
 				slot.tm, slot.pw, slot.err = ch.clockArc(cell, out)
+				arcsTask.Inc()
 				if slot.err == nil {
 					obs.C("charlib.arcs").Inc()
 					obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())
@@ -288,12 +299,14 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 				pa.ins = append(pa.ins, in)
 			}
 			pa.res = make([]arcResult, len(specs))
+			arcsTask.AddTotal(int64(len(specs)))
 			for ai, sp := range specs {
 				wg.Add(1)
 				go func(sp combSpec, out string, slot *arcResult) {
 					defer wg.Done()
 					t0 := time.Now()
 					slot.tm, slot.pw, slot.err = ch.combArc(cell, sp.in, out, sp.vec, sp.o0, sp.o1)
+					arcsTask.Inc()
 					if slot.err == nil {
 						obs.C("charlib.arcs").Inc()
 						obs.H("charlib.arc.seconds").Observe(time.Since(t0).Seconds())

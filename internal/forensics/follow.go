@@ -1,0 +1,78 @@
+package forensics
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Follower incrementally reads a growing journal file: each Poll returns
+// the events appended since the previous Poll. It survives the file not
+// existing yet (a flow that has not started returns no events, not an
+// error) and being recreated or truncated (obs.EnableJournal truncates on
+// open), in which case it restarts from the top. A torn final line — the
+// journal's writer mid-append — is carried across polls until its newline
+// arrives.
+type Follower struct {
+	path string
+	off  int64
+	buf  []byte // partial final line carried between polls
+}
+
+// NewFollower follows the journal file at path from its beginning.
+func NewFollower(path string) *Follower { return &Follower{path: path} }
+
+// Poll reads and decodes events appended since the last call. Lines that
+// fail to decode are skipped (a follower must not die mid-flow on one bad
+// line); I/O errors other than the file not existing are returned.
+func (f *Follower) Poll() ([]obs.Event, error) {
+	g, err := os.Open(f.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer g.Close()
+	st, err := g.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < f.off {
+		// Truncated or recreated: restart from the top.
+		f.off, f.buf = 0, nil
+	}
+	if st.Size() == f.off {
+		return nil, nil
+	}
+	if _, err := g.Seek(f.off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	fresh, err := io.ReadAll(g)
+	if err != nil {
+		return nil, err
+	}
+	f.off += int64(len(fresh))
+	f.buf = append(f.buf, fresh...)
+	var out []obs.Event
+	for {
+		i := bytes.IndexByte(f.buf, '\n')
+		if i < 0 {
+			break
+		}
+		line := bytes.TrimSpace(f.buf[:i])
+		f.buf = f.buf[i+1:]
+		if len(line) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package forensics
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFollowerIncrementalPolls(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	f := NewFollower(path)
+
+	// File not there yet: a flow that has not started is not an error.
+	evs, err := f.Poll()
+	if err != nil || evs != nil {
+		t.Fatalf("missing file: evs=%v err=%v", evs, err)
+	}
+
+	j := obs.NewJournal(mustCreate(t, path), "r-follow")
+	j.Event("stage.start", "synth", "begin", nil)
+	j.Sync()
+	evs, err = f.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Stage != "synth" || evs[0].Run != "r-follow" {
+		t.Fatalf("first poll: %+v", evs)
+	}
+
+	// Nothing new: quiet poll.
+	if evs, _ := f.Poll(); evs != nil {
+		t.Fatalf("quiet poll returned %+v", evs)
+	}
+
+	j.Event("stage.end", "synth", "done", nil)
+	j.Event(obs.KindProgress, "charlib.cells", "progress", map[string]string{"done": "5"})
+	j.Sync()
+	evs, err = f.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Kind != obs.KindProgress {
+		t.Fatalf("second poll: %+v", evs)
+	}
+	j.Close()
+}
+
+func TestFollowerTornLineAndTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f := NewFollower(path)
+
+	w := mustCreate(t, path)
+	// A torn write: half an event, no newline yet.
+	w.WriteString(`{"t_ns":1,"run":"r-1","kind":"stage.start","stage":"a`)
+	evs, err := f.Poll()
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("torn line poll: evs=%+v err=%v", evs, err)
+	}
+	// The rest of the line arrives: the carried prefix completes.
+	w.WriteString("\"}\n")
+	evs, err = f.Poll()
+	if err != nil || len(evs) != 1 || evs[0].Stage != "a" {
+		t.Fatalf("completed line poll: evs=%+v err=%v", evs, err)
+	}
+	w.Close()
+
+	// The journal is recreated (EnableJournal truncates) with a shorter
+	// stream: the follower notices the shrink and restarts from the top.
+	w = mustCreate(t, path)
+	w.WriteString(`{"t_ns":2,"run":"r-2","kind":"x","stage":"b"}` + "\n")
+	w.Close()
+	evs, err = f.Poll()
+	if err != nil || len(evs) != 1 || evs[0].Run != "r-2" {
+		t.Fatalf("post-truncation poll: evs=%+v err=%v", evs, err)
+	}
+}
+
+func mustCreate(t *testing.T, path string) *os.File {
+	t.Helper()
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

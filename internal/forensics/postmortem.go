@@ -119,6 +119,17 @@ type NodeStat struct {
 	Count int
 }
 
+// StallRec is one watchdog stall post-mortem: when a stage went silent,
+// how deep into its work it was, and the evidence the watchdog captured
+// (active span stack + goroutine dump) decoded from the event's
+// obs.StallReport detail payload.
+type StallRec struct {
+	Time   time.Time
+	Stage  string
+	Msg    string
+	Report *obs.StallReport // nil when the detail payload is missing/opaque
+}
+
 // ArtifactRec is one recorded artifact provenance event.
 type ArtifactRec struct {
 	Stage  string
@@ -139,6 +150,7 @@ type RunReport struct {
 
 	Stages    []StageStat   // first-seen order
 	Failures  []FailureSite // ranked by recurrence (count desc)
+	Stalls    []StallRec    // watchdog post-mortems, in journal order
 	Devices   []DeviceStat  // worst-converging devices, by count then residual
 	Nodes     []NodeStat    // worst-converging nodes, by count
 	Artifacts []ArtifactRec
@@ -209,6 +221,15 @@ func addEvent(r *RunReport, e obs.Event) {
 		r.Warnings++
 	case obs.KindFailure:
 		addFailure(r, e)
+	case obs.KindStall:
+		rec := StallRec{Time: e.Time(), Stage: e.Stage, Msg: e.Msg}
+		if len(e.Detail) > 0 {
+			var rep obs.StallReport
+			if err := json.Unmarshal(e.Detail, &rep); err == nil && rep.Task != "" {
+				rec.Report = &rep
+			}
+		}
+		r.Stalls = append(r.Stalls, rec)
 	case obs.KindArtifact:
 		r.Artifacts = append(r.Artifacts, ArtifactRec{
 			Stage:  e.Stage,
@@ -390,6 +411,31 @@ func writeRunMarkdown(bw *errWriter, r *RunReport) {
 				orDash(node), orDash(phase), mdEscape(truncate(s.First.Msg, 120)))
 		}
 	}
+	if len(r.Stalls) > 0 {
+		bw.printf("\n### Stalls (watchdog post-mortems)\n\n")
+		for i := range r.Stalls {
+			s := &r.Stalls[i]
+			bw.printf("%d. **%s** at %s — %s\n", i+1, mdEscape(s.Stage),
+				s.Time.UTC().Format(time.RFC3339), mdEscape(s.Msg))
+			rep := s.Report
+			if rep == nil {
+				continue
+			}
+			if rep.Total > 0 {
+				bw.printf("   - progress: %d/%d units when the heartbeat stopped\n", rep.Done, rep.Total)
+			} else {
+				bw.printf("   - progress: %d units when the heartbeat stopped\n", rep.Done)
+			}
+			bw.printf("   - silent %.1fs (deadline %.1fs), %d goroutines\n",
+				rep.SilentSec, rep.DeadlineSec, rep.NumGoroutine)
+			if len(rep.SpanStack) > 0 {
+				bw.printf("   - active span stack: `%s`\n", strings.Join(rep.SpanStack, " → "))
+			}
+			if rep.Goroutines != "" {
+				bw.printf("\n```\n%s\n```\n", truncate(strings.TrimSpace(rep.Goroutines), 4000))
+			}
+		}
+	}
 	if len(r.Devices) > 0 {
 		bw.printf("\n### Worst-converging devices\n\n")
 		bw.printf("| device | failures | max residual |\n|---|---:|---:|\n")
@@ -440,6 +486,9 @@ func (r *Report) WriteSummary(w io.Writer) error {
 		}
 		bw.printf("%-16s %-10s %-9s %4d events %3d failures %3d warnings",
 			run.RunID, bin, status, run.Events, nfail, run.Warnings)
+		if len(run.Stalls) > 0 {
+			bw.printf(" %3d stalls", len(run.Stalls))
+		}
 		if !run.Start.IsZero() && !run.End.IsZero() {
 			bw.printf("  %.3fs", run.End.Sub(run.Start).Seconds())
 		}

@@ -1,0 +1,272 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qor"
+)
+
+// TrendRun labels one column of a trend table: one history record.
+type TrendRun struct {
+	Run  string    `json:"run"`
+	Bin  string    `json:"bin"`
+	Time time.Time `json:"time"`
+}
+
+// TrendPoint is one metric's value in one run; Present is false when the
+// run did not record the metric (the table renders a dash).
+type TrendPoint struct {
+	Value   float64 `json:"value"`
+	Present bool    `json:"present"`
+}
+
+// TrendRow is one metric's trajectory across the selected runs, with the
+// noise-aware drift verdict of its latest value against its history.
+type TrendRow struct {
+	Metric string       `json:"metric"`
+	Points []TrendPoint `json:"points"`
+	// Verdict classifies the latest value against the prior runs' noise
+	// band (qor.DriftVerdict): OK, Improved, Regressed — or New/Missing
+	// when the metric appeared in / vanished from the latest run.
+	Verdict qor.Verdict `json:"-"`
+	// VerdictText is the verdict's string form for JSON consumers.
+	VerdictText string `json:"verdict"`
+	// DeltaPct is the relative change of the latest value against the
+	// median of the prior runs (0 when undefined).
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// TrendReport is a run-over-run metrics comparison rendered by
+// cryoobs trend: one column per history record (oldest first), one row per
+// metric matching the requested globs.
+type TrendReport struct {
+	Runs []TrendRun `json:"runs"`
+	Rows []TrendRow `json:"rows"`
+}
+
+// Drifting counts rows whose latest value escaped the noise band
+// (Regressed or Improved).
+func (t *TrendReport) Drifting() int {
+	n := 0
+	for i := range t.Rows {
+		if t.Rows[i].Verdict == qor.Regressed || t.Rows[i].Verdict == qor.Improved {
+			n++
+		}
+	}
+	return n
+}
+
+// FlattenRecord flattens one history record into dotted scalar metrics —
+// the namespace trend globs select over: counters and gauges keep their
+// registry names, each histogram contributes "<name>.count" and
+// "<name>.mean", per-stage wall times appear as "stage.<span>", and QoR
+// metrics keep the "qor." names the producing tool staged.
+func FlattenRecord(rec *obs.HistoryRecord) map[string]float64 {
+	out := map[string]float64{}
+	if m := rec.Metrics; m != nil {
+		for k, v := range m.Counters {
+			out[k] = float64(v)
+		}
+		for k, v := range m.Gauges {
+			out[k] = v
+		}
+		for k, h := range m.Histograms {
+			out[k+".count"] = float64(h.Count)
+			if h.Count > 0 {
+				out[k+".mean"] = h.Sum / float64(h.Count)
+			}
+		}
+	}
+	for k, v := range rec.Stages {
+		out["stage."+k] = v
+	}
+	for k, v := range rec.QoR {
+		out[k] = v
+	}
+	return out
+}
+
+// globMatch reports whether name matches the pattern, where '*' matches
+// any run of characters (including separators — metric names mix '.', '/',
+// and '@', so path.Match semantics would be a trap). Matching is anchored
+// at both ends.
+func globMatch(pattern, name string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	name = name[len(parts[0]):]
+	for _, p := range parts[1 : len(parts)-1] {
+		i := strings.Index(name, p)
+		if i < 0 {
+			return false
+		}
+		name = name[i+len(p):]
+	}
+	return strings.HasSuffix(name, parts[len(parts)-1])
+}
+
+func matchesAny(globs []string, name string) bool {
+	for _, g := range globs {
+		if globMatch(g, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Trend digests the history records (any order; they are sorted by append
+// time) into a run-over-run report for the metrics matching globs, keeping
+// only the last `last` records when last > 0. The drift verdict compares
+// each metric's latest value against the noise band (median ± IQR, same
+// thresholds as the cryobench diff) of its prior values, so identical
+// reruns stay quiet and only real shifts are flagged.
+func Trend(records []obs.HistoryRecord, globs []string, last int, th qor.Thresholds) *TrendReport {
+	recs := append([]obs.HistoryRecord(nil), records...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].TNs < recs[j].TNs })
+	if last > 0 && len(recs) > last {
+		recs = recs[len(recs)-last:]
+	}
+	if len(globs) == 0 {
+		globs = []string{"*"}
+	}
+	rep := &TrendReport{}
+	flats := make([]map[string]float64, len(recs))
+	names := map[string]bool{}
+	for i := range recs {
+		rep.Runs = append(rep.Runs, TrendRun{
+			Run: recs[i].Run, Bin: recs[i].Bin, Time: recs[i].Time(),
+		})
+		flats[i] = FlattenRecord(&recs[i])
+		for k := range flats[i] {
+			if matchesAny(globs, k) {
+				names[k] = true
+			}
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for k := range names {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		row := TrendRow{Metric: name, Points: make([]TrendPoint, len(recs))}
+		var prior []float64
+		latest, latestOK := 0.0, false
+		for i := range recs {
+			v, ok := flats[i][name]
+			row.Points[i] = TrendPoint{Value: v, Present: ok}
+			if !ok {
+				continue
+			}
+			if i == len(recs)-1 {
+				latest, latestOK = v, true
+			} else {
+				prior = append(prior, v)
+			}
+		}
+		switch {
+		case !latestOK:
+			row.Verdict = qor.Missing
+		case len(prior) == 0:
+			row.Verdict = qor.New
+		default:
+			base := qor.NewStat(prior)
+			row.Verdict = qor.DriftVerdict(base, qor.NewStat([]float64{latest}), th)
+			if base.Median != 0 {
+				row.DeltaPct = 100 * (latest - base.Median) / math.Abs(base.Median)
+			}
+		}
+		row.VerdictText = row.Verdict.String()
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// WriteText renders the trend report as an aligned text table, one run per
+// column (oldest first), drift verdicts in the last column.
+func (t *TrendReport) WriteText(w io.Writer) error {
+	return t.writeTable(&errWriter{w: w}, false)
+}
+
+// WriteMarkdown renders the trend report as a markdown table.
+func (t *TrendReport) WriteMarkdown(w io.Writer) error {
+	bw := &errWriter{w: w}
+	return t.writeTable(bw, true)
+}
+
+func shortRun(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+func (t *TrendReport) writeTable(bw *errWriter, md bool) error {
+	if md {
+		bw.printf("| metric |")
+		for _, r := range t.Runs {
+			bw.printf(" %s |", shortRun(r.Run))
+		}
+		bw.printf(" Δ%% | verdict |\n|---|")
+		for range t.Runs {
+			bw.printf("---:|")
+		}
+		bw.printf("---:|---|\n")
+	} else {
+		bw.printf("%-48s", "metric")
+		for _, r := range t.Runs {
+			bw.printf(" %12s", shortRun(r.Run))
+		}
+		bw.printf(" %8s %s\n", "Δ%", "verdict")
+	}
+	for i := range t.Rows {
+		row := &t.Rows[i]
+		if md {
+			bw.printf("| %s |", mdEscape(row.Metric))
+		} else {
+			bw.printf("%-48s", row.Metric)
+		}
+		for _, p := range row.Points {
+			cell := "—"
+			if p.Present {
+				cell = fmt.Sprintf("%.6g", p.Value)
+			}
+			if md {
+				bw.printf(" %s |", cell)
+			} else {
+				bw.printf(" %12s", cell)
+			}
+		}
+		delta := ""
+		if row.DeltaPct != 0 {
+			delta = fmt.Sprintf("%+.1f", row.DeltaPct)
+		}
+		if md {
+			bw.printf(" %s | %s |\n", orDash(delta), row.VerdictText)
+		} else {
+			bw.printf(" %8s %s\n", orDash(delta), row.VerdictText)
+		}
+	}
+	if n := t.Drifting(); n > 0 {
+		bw.printf("\n%d metric(s) drifted outside the noise band.\n", n)
+	}
+	return bw.err
+}
+
+// WriteJSON serializes the trend report (indented).
+func (t *TrendReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,193 @@
+package forensics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/qor"
+)
+
+func histRec(tns int64, run string, qorVals map[string]float64) obs.HistoryRecord {
+	return obs.HistoryRecord{
+		TNs: tns, Run: run, Bin: "cryobench",
+		Metrics: &obs.Snapshot{
+			Counters: map[string]int64{"spice.newton.iterations": 1000 + tns},
+		},
+		Stages: map[string]float64{"synth.opt": 0.5},
+		QoR:    qorVals,
+	}
+}
+
+func TestFlattenRecord(t *testing.T) {
+	rec := obs.HistoryRecord{
+		Metrics: &obs.Snapshot{
+			Counters: map[string]int64{"cec.sat.calls": 12},
+			Gauges:   map[string]float64{"synth.map.area": 42.5},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"charlib.cell.seconds": {Count: 4, Sum: 2},
+				"empty.hist":           {Count: 0},
+			},
+		},
+		Stages: map[string]float64{"qor.flow": 1.5},
+		QoR:    map[string]float64{"qor.ctrl/pad@10K.area": 7},
+	}
+	flat := FlattenRecord(&rec)
+	want := map[string]float64{
+		"cec.sat.calls":              12,
+		"synth.map.area":             42.5,
+		"charlib.cell.seconds.count": 4,
+		"charlib.cell.seconds.mean":  0.5,
+		"empty.hist.count":           0,
+		"stage.qor.flow":             1.5,
+		"qor.ctrl/pad@10K.area":      7,
+	}
+	if len(flat) != len(want) {
+		t.Errorf("flat keys = %v", flat)
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Errorf("flat[%q] = %g, want %g", k, flat[k], v)
+		}
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "anything.at/all@10K", true},
+		{"qor.*", "qor.ctrl/pad@10K.area", true}, // '*' crosses '/' and '@'
+		{"qor.*", "stage.qor.flow", false},       // anchored prefix
+		{"*.area", "qor.ctrl/pad@10K.area", true},
+		{"qor.*.area", "qor.ctrl/pad@10K.area", true},
+		{"qor.*.area", "qor.ctrl/pad@10K.gates", false},
+		{"exact.name", "exact.name", true},
+		{"exact.name", "exact.names", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pattern, c.name); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+// TestTrendDriftAndQuiet is the acceptance scenario: three identical runs
+// stay quiet; a fourth with a seeded regression is flagged, and only it.
+func TestTrendDriftAndQuiet(t *testing.T) {
+	th := qor.DefaultThresholds()
+	quiet := []obs.HistoryRecord{
+		histRec(1, "r-aaaaaaaa-1", map[string]float64{"qor.x.area": 100, "qor.x.delay": 2e-9}),
+		histRec(2, "r-bbbbbbbb-2", map[string]float64{"qor.x.area": 100, "qor.x.delay": 2e-9}),
+		histRec(3, "r-cccccccc-3", map[string]float64{"qor.x.area": 100, "qor.x.delay": 2e-9}),
+	}
+	rep := Trend(quiet, []string{"qor.*"}, 0, th)
+	if rep.Drifting() != 0 {
+		t.Errorf("identical reruns drifted: %+v", rep.Rows)
+	}
+	for _, row := range rep.Rows {
+		if row.Verdict != qor.OK {
+			t.Errorf("row %s verdict = %s, want ok", row.Metric, row.VerdictText)
+		}
+	}
+
+	drifted := append(quiet, histRec(4, "r-dddddddd-4",
+		map[string]float64{"qor.x.area": 150, "qor.x.delay": 2e-9}))
+	rep = Trend(drifted, []string{"qor.*"}, 0, th)
+	if rep.Drifting() != 1 {
+		t.Fatalf("drifting = %d, want 1: %+v", rep.Drifting(), rep.Rows)
+	}
+	byName := map[string]*TrendRow{}
+	for i := range rep.Rows {
+		byName[rep.Rows[i].Metric] = &rep.Rows[i]
+	}
+	area := byName["qor.x.area"]
+	if area == nil || area.Verdict != qor.Regressed {
+		t.Fatalf("qor.x.area row: %+v", area)
+	}
+	if area.DeltaPct != 50 {
+		t.Errorf("delta = %g, want +50", area.DeltaPct)
+	}
+	if byName["qor.x.delay"].Verdict != qor.OK {
+		t.Errorf("stable metric flagged: %+v", byName["qor.x.delay"])
+	}
+
+	// An improvement is drift too, just with the good sign.
+	improved := append(quiet, histRec(4, "r-eeeeeeee-4",
+		map[string]float64{"qor.x.area": 50, "qor.x.delay": 2e-9}))
+	rep = Trend(improved, []string{"qor.x.area"}, 0, th)
+	if len(rep.Rows) != 1 || rep.Rows[0].Verdict != qor.Improved {
+		t.Errorf("improvement rows: %+v", rep.Rows)
+	}
+}
+
+func TestTrendNewMissingAndLast(t *testing.T) {
+	th := qor.DefaultThresholds()
+	recs := []obs.HistoryRecord{
+		histRec(3, "r-3", map[string]float64{"qor.old": 1}), // appended out of order
+		histRec(1, "r-1", map[string]float64{"qor.old": 1}),
+		histRec(2, "r-2", map[string]float64{"qor.old": 1}),
+		histRec(4, "r-4", map[string]float64{"qor.fresh": 9}),
+	}
+	rep := Trend(recs, []string{"qor.*"}, 0, th)
+	if got := len(rep.Runs); got != 4 {
+		t.Fatalf("runs = %d, want 4", got)
+	}
+	// Sorted by time, not input order.
+	if rep.Runs[0].Run != "r-1" || rep.Runs[3].Run != "r-4" {
+		t.Errorf("run order: %+v", rep.Runs)
+	}
+	byName := map[string]qor.Verdict{}
+	for _, row := range rep.Rows {
+		byName[row.Metric] = row.Verdict
+	}
+	if byName["qor.fresh"] != qor.New || byName["qor.old"] != qor.Missing {
+		t.Errorf("verdicts: %+v", byName)
+	}
+	// Missing/New are informational, not drift.
+	if rep.Drifting() != 0 {
+		t.Errorf("drifting = %d, want 0", rep.Drifting())
+	}
+
+	// last=2 keeps only the newest two records.
+	rep = Trend(recs, []string{"qor.*"}, 2, th)
+	if len(rep.Runs) != 2 || rep.Runs[0].Run != "r-3" || rep.Runs[1].Run != "r-4" {
+		t.Errorf("last=2 runs: %+v", rep.Runs)
+	}
+}
+
+func TestTrendRenderers(t *testing.T) {
+	th := qor.DefaultThresholds()
+	recs := []obs.HistoryRecord{
+		histRec(1, "r-aaaaaaaa-1", map[string]float64{"qor.x.area": 100}),
+		histRec(2, "r-bbbbbbbb-2", map[string]float64{"qor.x.area": 150}),
+	}
+	rep := Trend(recs, []string{"qor.x.area"}, 0, th)
+
+	var text strings.Builder
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{"qor.x.area", "r-aaaaaa", "r-bbbbbb", "100", "150", "+50.0", "REGRESSED", "1 metric(s) drifted"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text table missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var md strings.Builder
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	if !strings.Contains(md.String(), "| qor.x.area |") || !strings.Contains(md.String(), "|---|") {
+		t.Errorf("markdown table malformed:\n%s", md.String())
+	}
+
+	var js strings.Builder
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(js.String(), `"verdict": "REGRESSED"`) {
+		t.Errorf("json missing verdict:\n%s", js.String())
+	}
+}

@@ -151,7 +151,10 @@ func (e *eventEngine) Run(ctx context.Context, vectors []Vector) (*Result, error
 	var gateOrder []int32
 	scratch := make([]Value, 6)
 
+	task := obs.Progress("gsim.vectors", int64(len(vectors)))
+	defer task.Finish()
 	for v, vec := range vectors {
+		task.Inc()
 		if len(vec) != len(m.Inputs) {
 			return nil, fmt.Errorf("gsim: vector %d has %d bits, want %d", v, len(vec), len(m.Inputs))
 		}

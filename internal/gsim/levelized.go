@@ -92,6 +92,8 @@ func (e *levelized) Run(ctx context.Context, vectors []Vector) (*Result, error) 
 	in := make([]uint64, len(m.Inputs))
 	var prev []uint64
 	var evals int64
+	task := obs.Progress("gsim.vectors", int64(len(vectors)))
+	defer task.Finish()
 	for base := 0; base < len(vectors); base += 64 {
 		chunk := len(vectors) - base
 		if chunk > 64 {
@@ -146,6 +148,7 @@ func (e *levelized) Run(ctx context.Context, vectors []Vector) (*Result, error) 
 			}
 		}
 		prev = vals
+		task.Add(int64(chunk))
 	}
 	res.Events = evals
 	obs.C("gsim.vectors").Add(int64(len(vectors)))

@@ -41,6 +41,35 @@ func BenchmarkDisabledJournal(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledProgress proves progress instrumentation in inner loops
+// (gsim vector blocks, cec sweep nodes) is allocation-free when tracking is
+// off: Progress returns nil and every method is a nil-receiver no-op.
+func BenchmarkDisabledProgress(b *testing.B) {
+	DisableProgress()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := Progress("bench.task", 10)
+		task.Inc()
+		task.Add(1)
+		task.Finish()
+	}
+}
+
+// BenchmarkEnabledProgress measures the tracked hot path (lookup + atomic
+// adds) for comparison.
+func BenchmarkEnabledProgress(b *testing.B) {
+	DisableProgress()
+	EnableProgress()
+	defer DisableProgress()
+	task := Progress("bench.task", int64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Inc()
+	}
+}
+
 // BenchmarkEnabledCounter measures the enabled hot path (lookup + atomic
 // add) for comparison.
 func BenchmarkEnabledCounter(b *testing.B) {

@@ -8,13 +8,19 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Flags carries the standard observability CLI flags shared by every
-// binary in the flow: -metrics, -trace, -pprof, -obs-addr, -loglevel, and
-// -journal.
+// binary in the flow: -metrics, -trace, -pprof, -obs-addr, -loglevel,
+// -journal, -progress, -stall, -stall-abort, and -history. Binaries must
+// not hand-register any of these: one shared InstallFlags call is what
+// keeps the flag surface identical across all ten tools (pinned by
+// TestFlagSurface).
 type Flags struct {
 	MetricsPath string
 	TracePath   string
@@ -22,8 +28,24 @@ type Flags struct {
 	ObsAddr     string
 	LogLevel    string
 	JournalPath string
+	// ProgressEvery enables progress tracking and prints per-stage
+	// percent/rate/ETA report lines (and journal progress events) at this
+	// interval.
+	ProgressEvery time.Duration
+	// StallAfter enables the stall watchdog: a registered stage silent
+	// this long gets a goroutine-dump post-mortem journaled.
+	StallAfter time.Duration
+	// StallAbort aborts the process (exit 2) after a stall post-mortem
+	// instead of waiting for the stage to recover.
+	StallAbort bool
+	// HistoryPath appends this run's registry snapshot + stage wall times
+	// (+ any staged QoR summary) to the JSONL metrics history store on
+	// exit (bench/history.jsonl by convention; cryoobs trend reads it).
+	HistoryPath string
 
-	runEnded atomic.Bool // run.end emitted (Flush may be called twice)
+	runEnded     atomic.Bool // run.end emitted (Flush may be called twice)
+	histWritten  atomic.Bool // history appended (Flush may be called twice)
+	stopReporter func()      // terminates the periodic progress reporter
 }
 
 // InstallFlags registers the observability flags on fs (typically
@@ -33,9 +55,13 @@ func InstallFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsPath, "metrics", "", "write a metrics dump to this file on exit ('-' for stderr)")
 	fs.StringVar(&f.TracePath, "trace", "", "write Chrome trace_event JSON (chrome://tracing, Perfetto) to this file on exit")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve live metrics (Prometheus /metrics, /spans, pprof) on this address; implies metrics+tracing")
+	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve live metrics (Prometheus /metrics, /spans, /progress, pprof) on this address; implies metrics+tracing+progress")
 	fs.StringVar(&f.LogLevel, "loglevel", "", "diagnostic log level: debug|info|warn|error (default warn)")
 	fs.StringVar(&f.JournalPath, "journal", "", "append a structured JSONL run journal to this file (cryoobs reads it)")
+	fs.DurationVar(&f.ProgressEvery, "progress", 0, "print per-stage progress lines (percent/rate/ETA) at this interval (e.g. 5s)")
+	fs.DurationVar(&f.StallAfter, "stall", 0, "stall watchdog: journal a goroutine-dump post-mortem when a stage makes no progress for this long")
+	fs.BoolVar(&f.StallAbort, "stall-abort", false, "with -stall, abort the process (exit 2) after capturing the stall post-mortem")
+	fs.StringVar(&f.HistoryPath, "history", "", "append this run's metrics snapshot + QoR summary to this JSONL history store (cryoobs trend reads it)")
 	return f
 }
 
@@ -66,6 +92,15 @@ func (f *Flags) Activate() (flush func(), err error) {
 		if err := serveObs(f.ObsAddr); err != nil {
 			return nil, err
 		}
+	}
+	if f.ObsAddr != "" || f.ProgressEvery > 0 || f.StallAfter > 0 {
+		EnableProgress()
+	}
+	if f.StallAfter > 0 {
+		StartStallWatchdog(WatchdogConfig{Deadline: f.StallAfter, Abort: f.StallAbort})
+	}
+	if f.ProgressEvery > 0 {
+		f.stopReporter = startProgressReporter(f.ProgressEvery)
 	}
 	if f.JournalPath != "" {
 		j, err := EnableJournal(f.JournalPath)
@@ -104,6 +139,15 @@ func (f *Flags) Flush() {
 			Log().Errorf("obs: writing trace to %s: %v", f.TracePath, err)
 		}
 	}
+	if f.stopReporter != nil {
+		f.stopReporter()
+		f.stopReporter = nil
+	}
+	if f.HistoryPath != "" && f.histWritten.CompareAndSwap(false, true) {
+		if err := AppendHistory(f.HistoryPath, buildHistoryRecord()); err != nil {
+			Log().Errorf("obs: history: appending to %s: %v", f.HistoryPath, err)
+		}
+	}
 	if f.JournalPath != "" {
 		j := J()
 		if f.runEnded.CompareAndSwap(false, true) {
@@ -111,6 +155,95 @@ func (f *Flags) Flush() {
 		}
 		if err := j.Sync(); err != nil {
 			Log().Errorf("obs: journal: flushing %s: %v", f.JournalPath, err)
+		}
+	}
+}
+
+// buildHistoryRecord assembles this run's history entry at flush time: the
+// registry snapshot (after a final runtime sample), per-stage wall times,
+// staged QoR metrics, and journal artifact provenance, keyed by the
+// journal run ID (or a fresh one when journaling is off).
+func buildHistoryRecord() *HistoryRecord {
+	rec := &HistoryRecord{
+		TNs:       time.Now().UnixNano(),
+		Run:       J().RunID(),
+		Bin:       filepath.Base(os.Args[0]),
+		Args:      strings.Join(os.Args[1:], " "),
+		QoR:       takeHistoryQoR(),
+		Artifacts: J().Artifacts(),
+	}
+	if rec.Run == "" {
+		rec.Run = NewRunID()
+	}
+	if MetricsEnabled() {
+		SampleRuntimeMetrics()
+		rec.Metrics = Metrics().Snapshot()
+	}
+	if totals := Tracing().Totals(); len(totals) > 0 {
+		rec.Stages = make(map[string]float64, len(totals))
+		for name, st := range totals {
+			rec.Stages[name] = round6(st.Total.Seconds())
+		}
+	}
+	return rec
+}
+
+// startProgressReporter launches the periodic reporter: one stderr line and
+// one journal progress event per live (or just-finished) task per interval.
+// The returned stop function prints each task's final state once.
+func startProgressReporter(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		// reported tracks tasks whose finished state was already printed, so
+		// each task gets exactly one final line.
+		reported := map[string]bool{}
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				reportProgress(reported)
+				return
+			case <-t.C:
+				reportProgress(reported)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// reportProgress emits one report line + journal event per task that is
+// either live or newly finished since the last report.
+func reportProgress(reported map[string]bool) {
+	p := ProgressTable()
+	if p == nil {
+		return
+	}
+	j := J()
+	for _, s := range p.Snapshot() {
+		if reported[s.Name] {
+			continue
+		}
+		if s.Finished {
+			reported[s.Name] = true
+		}
+		fmt.Fprintln(os.Stderr, "progress: "+s.Line())
+		if j != nil {
+			j.Event(KindProgress, s.Name, s.Line(), map[string]string{
+				"done":         strconv.FormatInt(s.Done, 10),
+				"total":        strconv.FormatInt(s.Total, 10),
+				"percent":      strconv.FormatFloat(s.Percent, 'g', 6, 64),
+				"rate_per_sec": strconv.FormatFloat(s.RatePerSec, 'g', 6, 64),
+				"eta_seconds":  strconv.FormatFloat(s.ETASec, 'g', 6, 64),
+			})
 		}
 	}
 }

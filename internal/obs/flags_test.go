@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlagSurface pins the shared observability flag surface. Every flow
+// binary gets exactly this set from one InstallFlags call; a flag added
+// here without updating the docs/README table (or added in one binary by
+// hand) should fail loudly.
+func TestFlagSurface(t *testing.T) {
+	fs := flag.NewFlagSet("pin", flag.ContinueOnError)
+	InstallFlags(fs)
+	var got []string
+	fs.VisitAll(func(f *flag.Flag) { got = append(got, f.Name) })
+	sort.Strings(got)
+	want := []string{
+		"history", "journal", "loglevel", "metrics", "obs-addr",
+		"pprof", "progress", "stall", "stall-abort", "trace",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("obs flag surface drifted:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestFlagsProgressLifecycle drives Activate/Flush with -progress and
+// -history set: progress tracking comes on, the reporter emits final
+// per-task lines, and the flush appends exactly one history record carrying
+// the run's tasks' metrics, stages, and staged QoR.
+func TestFlagsProgressLifecycle(t *testing.T) {
+	DisableProgress()
+	DisableMetrics()
+	DisableTracing()
+	StopStallWatchdog()
+	defer func() {
+		DisableProgress()
+		DisableMetrics()
+		DisableTracing()
+	}()
+
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "history.jsonl")
+	f := &Flags{
+		MetricsPath:   filepath.Join(dir, "metrics.txt"),
+		ProgressEvery: time.Hour, // reporter only fires its final flush pass
+		HistoryPath:   histPath,
+	}
+
+	// Silence the reporter's stderr lines for the test.
+	oldStderr := os.Stderr
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stderr = devnull
+	defer func() { os.Stderr = oldStderr; devnull.Close() }()
+
+	flush, err := f.Activate()
+	if err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	if !ProgressEnabled() {
+		t.Fatal("-progress must enable progress tracking")
+	}
+	task := Progress("flags.test", 4)
+	task.Add(4)
+	task.Finish()
+	C("flags.test.counter").Add(7)
+	HistoryAddQoR(map[string]float64{"qor.x": 1.5})
+
+	flush()
+	flush() // double flush must not append a second record
+
+	recs, err := ReadHistoryFile(histPath)
+	if err != nil {
+		t.Fatalf("history: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("history has %d records after double flush, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Run == "" || rec.Bin == "" || rec.TNs == 0 {
+		t.Errorf("record provenance incomplete: %+v", rec)
+	}
+	if rec.Metrics == nil || rec.Metrics.Counters["flags.test.counter"] != 7 {
+		t.Errorf("record metrics: %+v", rec.Metrics)
+	}
+	if rec.QoR["qor.x"] != 1.5 {
+		t.Errorf("record qor: %+v", rec.QoR)
+	}
+}
+
+// TestStallFlagStartsWatchdog: -stall must install the watchdog (and
+// progress tracking with it).
+func TestStallFlagStartsWatchdog(t *testing.T) {
+	DisableProgress()
+	StopStallWatchdog()
+	defer StopStallWatchdog()
+	defer DisableProgress()
+	f := &Flags{StallAfter: time.Hour}
+	flush, err := f.Activate()
+	if err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	defer flush()
+	if globalWatchdog.Load() == nil {
+		t.Error("-stall did not install the watchdog")
+	}
+	if !ProgressEnabled() {
+		t.Error("-stall must enable progress tracking")
+	}
+}
+
+// TestReportProgressEmitsJournalEvents: each reporter pass journals one
+// progress event per task, and finished tasks report exactly once.
+func TestReportProgressEmitsJournalEvents(t *testing.T) {
+	DisableProgress()
+	EnableProgress()
+	defer DisableProgress()
+	var sink journalSink
+	prev := SetJournal(NewJournal(&sink, "r-prog"))
+	defer func() { SetJournal(prev).Close() }()
+
+	task := Progress("rep.task", 10)
+	task.Add(5)
+	reported := map[string]bool{}
+	reportProgress(reported)
+	task.Add(5)
+	task.Finish()
+	reportProgress(reported)
+	reportProgress(reported) // finished: must not report again
+
+	J().Sync()
+	evs, err := ReadJournal(strings.NewReader(sink.String()))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	var progress []Event
+	for _, e := range evs {
+		if e.Kind == KindProgress {
+			progress = append(progress, e)
+		}
+	}
+	if len(progress) != 2 {
+		t.Fatalf("got %d progress events, want 2 (live + final)", len(progress))
+	}
+	if progress[0].Attrs["done"] != "5" || progress[1].Attrs["done"] != "10" {
+		t.Errorf("progress attrs: %+v, %+v", progress[0].Attrs, progress[1].Attrs)
+	}
+	if progress[0].Stage != "rep.task" {
+		t.Errorf("progress stage = %q", progress[0].Stage)
+	}
+}
+
+// journalSink is an in-memory journal target.
+type journalSink struct{ b strings.Builder }
+
+func (s *journalSink) Write(p []byte) (int, error) { return s.b.Write(p) }
+func (s *journalSink) String() string              { return s.b.String() }
+
+var _ io.Writer = (*journalSink)(nil)

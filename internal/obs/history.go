@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// HistoryRecord is one run's entry in the append-only metrics history
+// store (bench/history.jsonl by convention, -history flag): the registry
+// snapshot plus per-stage wall times, an optional QoR summary, keyed by
+// the journal run ID and the run's artifact SHA-256s. cryoobs trend reads
+// the store back and renders run-over-run drift tables.
+type HistoryRecord struct {
+	TNs int64  `json:"t_ns"` // wall-clock append time, unix nanoseconds
+	Run string `json:"run"`  // journal run ID (fresh ID when journaling is off)
+	Bin string `json:"bin"`  // producing binary
+	// Args is the command line, for "what was this run" archaeology.
+	Args string `json:"args,omitempty"`
+	// Metrics is the full registry snapshot at flush time.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+	// Stages maps span name -> total seconds (the tracer's Totals).
+	Stages map[string]float64 `json:"stages,omitempty"`
+	// QoR carries flattened quality-of-results metrics contributed by the
+	// running tool (cryobench flattens its baseline here).
+	QoR map[string]float64 `json:"qor,omitempty"`
+	// Artifacts maps produced file path -> SHA-256, from the journal's
+	// provenance events.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+}
+
+// Time returns the record timestamp.
+func (r *HistoryRecord) Time() time.Time { return time.Unix(0, r.TNs) }
+
+// historyQoR stages QoR metrics for the history record written at flag
+// flush; tools contribute via HistoryAddQoR before exiting.
+var historyQoR struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+// HistoryAddQoR merges flattened QoR metrics into the history record the
+// -history flag appends on exit.
+func HistoryAddQoR(metrics map[string]float64) {
+	if len(metrics) == 0 {
+		return
+	}
+	historyQoR.mu.Lock()
+	defer historyQoR.mu.Unlock()
+	if historyQoR.m == nil {
+		historyQoR.m = map[string]float64{}
+	}
+	for k, v := range metrics {
+		historyQoR.m[k] = v
+	}
+}
+
+// takeHistoryQoR drains the staged QoR metrics (nil when none). Draining
+// keeps one run's QoR from leaking into the next record when a process
+// flushes more than once (tests, long-lived tools).
+func takeHistoryQoR() map[string]float64 {
+	historyQoR.mu.Lock()
+	defer historyQoR.mu.Unlock()
+	out := historyQoR.m
+	historyQoR.m = nil
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// AppendHistory appends one record to the JSONL history store at path,
+// creating the file (and its directory) on first use. Appends are one
+// O_APPEND write of one line, so concurrent runs interleave whole records
+// and a crashed run leaves at most one torn final line, which ReadHistory
+// tolerates.
+func AppendHistory(path string, rec *HistoryRecord) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: history: %w", err)
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: history: encoding record: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: history: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: history: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: history: %w", cerr)
+	}
+	return nil
+}
+
+// ReadHistory decodes a JSONL history stream. Like the journal reader, a
+// malformed final line (the torn write of a crashed process) is tolerated
+// and dropped; malformed lines mid-stream are an error.
+func ReadHistory(r io.Reader) ([]HistoryRecord, error) {
+	return readJSONL[HistoryRecord](r, "history")
+}
+
+// ReadHistoryFile reads a history store from disk via ReadHistory.
+func ReadHistoryFile(path string) ([]HistoryRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadHistory(f)
+}
+
+// readJSONL is the shared crash-tolerant JSONL decoder behind ReadJournal
+// and ReadHistory: one JSON value per line, a malformed final line is
+// dropped (torn write of a killed process), a malformed line followed by a
+// well-formed one is an error.
+func readJSONL[T any](r io.Reader, label string) ([]T, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	var out []T
+	var pendingErr error
+	pendingLine := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(line, &v); err != nil {
+			// Only tolerable if no well-formed record follows.
+			pendingErr, pendingLine = err, lineNo
+			continue
+		}
+		if pendingErr != nil {
+			return nil, fmt.Errorf("obs: %s line %d: %w", label, pendingLine, pendingErr)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", label, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHistoryAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "history.jsonl")
+	recs := []*HistoryRecord{
+		{
+			TNs: 1000, Run: "r-aaa", Bin: "cryobench", Args: "-profile smoke",
+			Metrics: &Snapshot{
+				Counters: map[string]int64{"spice.newton.iterations": 104224},
+				Gauges:   map[string]float64{"synth.map.area": 1294},
+				Histograms: map[string]HistogramSnapshot{
+					"charlib.cell.seconds": {Count: 2, Sum: 2, Min: 0.5, Max: 1.5},
+				},
+			},
+			Stages:    map[string]float64{"synth.opt": 1.25},
+			QoR:       map[string]float64{"qor.ctrl/pad@10K.area": 42.5},
+			Artifacts: map[string]string{"bench/out.json": "deadbeef"},
+		},
+		{TNs: 2000, Run: "r-bbb", Bin: "cryochar"},
+	}
+	// AppendHistory must create the parent directory on first use and
+	// append whole records thereafter.
+	for _, r := range recs {
+		if err := AppendHistory(path, r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	got, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].Run != "r-aaa" || got[1].Run != "r-bbb" {
+		t.Errorf("run IDs: %q, %q", got[0].Run, got[1].Run)
+	}
+	if got[0].Metrics == nil || got[0].Metrics.Counters["spice.newton.iterations"] != 104224 {
+		t.Errorf("metrics snapshot mangled: %+v", got[0].Metrics)
+	}
+	if got[0].Stages["synth.opt"] != 1.25 || got[0].QoR["qor.ctrl/pad@10K.area"] != 42.5 {
+		t.Errorf("stages/qor mangled: %+v %+v", got[0].Stages, got[0].QoR)
+	}
+	if got[0].Artifacts["bench/out.json"] != "deadbeef" {
+		t.Errorf("artifacts mangled: %+v", got[0].Artifacts)
+	}
+	if got[0].Time().UnixNano() != 1000 {
+		t.Errorf("Time() = %d, want 1000", got[0].Time().UnixNano())
+	}
+}
+
+// TestHistoryTornLastLine: a run killed mid-append leaves a torn final
+// line, which the reader must drop silently — but garbage mid-stream is an
+// error.
+func TestHistoryTornLastLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := AppendHistory(path, &HistoryRecord{TNs: 1, Run: "r-1", Bin: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, &HistoryRecord{TNs: 2, Run: "r-2", Bin: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t_ns":3,"run":"r-torn`)
+	f.Close()
+	got, err := ReadHistoryFile(path)
+	if err != nil {
+		t.Fatalf("torn last line should be tolerated: %v", err)
+	}
+	if len(got) != 2 || got[1].Run != "r-2" {
+		t.Fatalf("got %d records, want the 2 intact ones", len(got))
+	}
+
+	// A garbage line with records after it is corruption mid-stream, not a
+	// torn tail, and must be surfaced.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\n")
+	f.Close()
+	if err := AppendHistory(path, &HistoryRecord{TNs: 4, Run: "r-4", Bin: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistoryFile(path); err == nil {
+		t.Fatal("mid-stream corruption should be an error")
+	}
+}
+
+func TestHistoryQoRStaging(t *testing.T) {
+	takeHistoryQoR() // drain any prior state
+	HistoryAddQoR(nil)
+	HistoryAddQoR(map[string]float64{"qor.a": 1})
+	HistoryAddQoR(map[string]float64{"qor.b": 2, "qor.a": 3}) // later write wins
+	m := takeHistoryQoR()
+	if len(m) != 2 || m["qor.a"] != 3 || m["qor.b"] != 2 {
+		t.Errorf("staged QoR = %+v", m)
+	}
+	if takeHistoryQoR() != nil {
+		t.Error("take must drain the staging area")
+	}
+}

@@ -2,7 +2,6 @@ package obs
 
 import (
 	"bufio"
-	"bytes"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
@@ -57,6 +56,14 @@ const (
 	// KindAttribution carries a QoR attribution report (internal/explain)
 	// as its structured detail payload.
 	KindAttribution = "attribution"
+	// KindProgress is a periodic progress heartbeat from a registered
+	// stage task (done/total/rate/eta in attrs); the -progress flag's
+	// reporter emits one per live task per interval.
+	KindProgress = "progress"
+	// KindStall is the watchdog's post-mortem of a stage that went silent
+	// past its deadline; the detail payload is an obs.StallReport
+	// (goroutine dump, active span stack, registry snapshot).
+	KindStall = "stall"
 )
 
 // Journal is an append-only JSONL event writer. All methods are safe for
@@ -73,6 +80,9 @@ type Journal struct {
 	c      io.Closer // nil when the journal does not own the sink
 	failed bool      // first write error was logged; drop further events
 	closed bool
+	// arts mirrors the artifact provenance events in memory (path ->
+	// SHA-256) so the -history record can key the run by its outputs.
+	arts map[string]string
 }
 
 var globalJournal atomic.Pointer[Journal]
@@ -199,11 +209,35 @@ func (j *Journal) Artifact(stage, path string) {
 		j.Warning(stage, "artifact unreadable: "+err.Error(), map[string]string{"path": path})
 		return
 	}
+	j.mu.Lock()
+	if j.arts == nil {
+		j.arts = map[string]string{}
+	}
+	j.arts[path] = sum
+	j.mu.Unlock()
 	j.emit(KindArtifact, stage, "", map[string]string{
 		"path":   path,
 		"sha256": sum,
 		"bytes":  strconv.FormatInt(size, 10),
 	}, nil)
+}
+
+// Artifacts returns a copy of the recorded artifact provenance
+// (path -> SHA-256); nil journal or no artifacts yields nil.
+func (j *Journal) Artifacts() map[string]string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.arts) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(j.arts))
+	for k, v := range j.arts {
+		out[k] = v
+	}
+	return out
 }
 
 func fileSHA256(path string) (sum string, size int64, err error) {
@@ -315,33 +349,7 @@ func (j *Journal) Close() error {
 // torn write of a crashed or killed process — is tolerated and dropped;
 // malformed lines in the middle of the stream are an error.
 func ReadJournal(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
-	var out []Event
-	var pendingErr error
-	pendingLine := 0
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			// Only tolerable if no well-formed event follows.
-			pendingErr, pendingLine = err, lineNo
-			continue
-		}
-		if pendingErr != nil {
-			return nil, fmt.Errorf("obs: journal line %d: %w", pendingLine, pendingErr)
-		}
-		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: journal: %w", err)
-	}
-	return out, nil
+	return readJSONL[Event](r, "journal")
 }
 
 // ReadJournalFile reads a journal from disk via ReadJournal.

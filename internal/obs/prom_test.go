@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"regexp"
 	"strings"
@@ -49,6 +50,60 @@ func TestWritePrometheus(t *testing.T) {
 		if !lineRe.MatchString(line) {
 			t.Errorf("malformed exposition line: %q", line)
 		}
+	}
+}
+
+// TestWritePrometheusNativeHistogram pins the cumulative-bucket exposition:
+// each histogram additionally exports a <name>_hist histogram family with
+// the 200 internal log buckets collapsed to one per decade (20 finite le
+// bounds + +Inf), emitted in full even when empty so scrapes are
+// shape-stable.
+func TestWritePrometheusNativeHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("charlib.cell.seconds")
+	h.Observe(0.5)  // decade [0.1, 1)   -> counted under le="1"
+	h.Observe(1.5)  // decade [1, 10)    -> le="10"
+	h.Observe(3e-9) // decade [1e-9,1e-8)-> le="1e-08"
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+
+	// The summary exposition at the original name must survive unchanged
+	// next to the new family.
+	if !strings.Contains(out, "# TYPE charlib_cell_seconds summary") {
+		t.Errorf("summary family missing:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE charlib_cell_seconds_hist histogram",
+		`charlib_cell_seconds_hist_bucket{le="1e-14"} 0`,
+		`charlib_cell_seconds_hist_bucket{le="1e-08"} 1`,
+		`charlib_cell_seconds_hist_bucket{le="1"} 2`,
+		`charlib_cell_seconds_hist_bucket{le="10"} 3`,
+		`charlib_cell_seconds_hist_bucket{le="100000"} 3`,
+		`charlib_cell_seconds_hist_bucket{le="+Inf"} 3`,
+		"charlib_cell_seconds_hist_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("native histogram missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly 21 bucket lines: 20 decades + +Inf.
+	if n := strings.Count(out, "charlib_cell_seconds_hist_bucket{"); n != 21 {
+		t.Errorf("bucket lines = %d, want 21", n)
+	}
+	// Cumulative monotonicity across the le bounds.
+	re := regexp.MustCompile(`charlib_cell_seconds_hist_bucket\{le="[^"]*"\} (\d+)`)
+	last := -1
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		var v int
+		fmt.Sscanf(m[1], "%d", &v)
+		if v < last {
+			t.Fatalf("buckets not cumulative:\n%s", out)
+		}
+		last = v
 	}
 }
 

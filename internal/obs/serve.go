@@ -59,6 +59,12 @@ func obsMux() *http.ServeMux {
 			Log().Errorf("obs: /buildinfo: %v", err)
 		}
 	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteProgressJSON(w); err != nil {
+			Log().Errorf("obs: /progress: %v", err)
+		}
+	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := Tracing().WriteSummary(w); err != nil {
@@ -75,6 +81,7 @@ func obsMux() *http.ServeMux {
 		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
 		fmt.Fprintln(w, "  /metrics.txt    sorted plain-text metric dump")
 		fmt.Fprintln(w, "  /snapshot.json  registry snapshot (obs.ReadSnapshot format)")
+		fmt.Fprintln(w, "  /progress       live per-stage progress (done/total/rate/ETA, JSON)")
 		fmt.Fprintln(w, "  /spans          live span-tree summary")
 		fmt.Fprintln(w, "  /healthz        liveness probe (ok + uptime)")
 		fmt.Fprintln(w, "  /buildinfo      build provenance + enabled telemetry (JSON)")
@@ -130,11 +137,12 @@ func BuildInfo() *BuildInfoReport {
 	return r
 }
 
-// serveObs enables metrics and tracing (the endpoint is useless without
-// them) and serves the observability mux on addr in the background.
+// serveObs enables metrics, tracing, and progress (the endpoint is useless
+// without them) and serves the observability mux on addr in the background.
 func serveObs(addr string) error {
 	EnableMetrics()
 	EnableTracing()
+	EnableProgress()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("obs: exposition listen on %s: %w", addr, err)

@@ -304,6 +304,15 @@ func qorEqual(a, b, relEps float64, integerish bool) bool {
 	return math.Abs(a-b) <= relEps*scale
 }
 
+// DriftVerdict classifies the shift from a historical sample set (base) to
+// a current one under the noise-aware median/IQR rule — the same gate the
+// baseline diff applies to runtime metrics, exported for cross-run trend
+// analysis (cryoobs trend flags a metric as drifting only when its latest
+// value escapes the noise band of its history).
+func DriftVerdict(base, cur Stat, th Thresholds) Verdict {
+	return noisyVerdict(base, cur, th)
+}
+
 // noisyVerdict applies the median/IQR rule: the median shift must exceed
 // BOTH the relative band and IQRMult spreads of the noisier run to count.
 func noisyVerdict(base, cur Stat, th Thresholds) Verdict {

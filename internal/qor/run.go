@@ -94,6 +94,10 @@ func Run(ctx context.Context, opt RunOptions) (*Baseline, error) {
 	// whole profile, one sample per repetition.
 	engineSamples := map[string][]float64{}
 
+	reps := obs.Progress("qor.reps",
+		int64(len(opt.Profile.Circuits))*int64(len(opt.Profile.Scenarios))*int64(opt.Repeat))
+	defer reps.Finish()
+
 	for _, name := range opt.Profile.Circuits {
 		g, err := epfl.Build(name)
 		if err != nil {
@@ -152,6 +156,7 @@ func Run(ctx context.Context, opt RunOptions) (*Baseline, error) {
 					engineSamples[cname] = padTo(engineSamples[cname], rep)
 					engineSamples[cname][rep] += float64(v)
 				}
+				reps.Inc()
 				progress("%-12s %-10s rep %d/%d  %.3fs", name, sc, rep+1, opt.Repeat, wall)
 			}
 			for span, samples := range stageSamples {

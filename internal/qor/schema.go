@@ -225,3 +225,29 @@ func ReadBaselineFile(path string) (*Baseline, error) {
 
 // key identifies a circuit record inside a baseline.
 func (c *Circuit) key() string { return c.Name + "/" + c.Scenario }
+
+// FlatMetrics flattens the baseline's QoR into dotted scalar metrics
+// ("qor.<circuit>/<scenario>@<temp>K.area", ".wns_seconds", ...), the shape
+// the obs metrics history stores so cryoobs trend can glob and chart them
+// next to engine counters and stage wall times.
+func (b *Baseline) FlatMetrics() map[string]float64 {
+	out := map[string]float64{}
+	for i := range b.Circuits {
+		c := &b.Circuits[i]
+		out["qor."+c.key()+".aig_nodes_opt"] = float64(c.AIGNodesOpt)
+		out["qor."+c.key()+".aig_depth_opt"] = float64(c.AIGDepthOpt)
+		for j := range c.Corners {
+			k := &c.Corners[j]
+			p := fmt.Sprintf("qor.%s@%gK.", c.key(), k.TempK)
+			out[p+"gates"] = float64(k.Gates)
+			out[p+"area"] = k.Area
+			out[p+"critical_delay_seconds"] = k.CriticalSec
+			out[p+"wns_seconds"] = k.WNSSec
+			out[p+"tns_seconds"] = k.TNSSec
+			out[p+"leakage_w"] = k.LeakageW
+			out[p+"dynamic_w"] = k.DynamicW
+			out[p+"total_w"] = k.TotalW
+		}
+	}
+	return out
+}
