@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-diff bench-record explain trend paperbench microbench cec sim clean
+.PHONY: build test race vet fmt check bench bench-diff bench-record explain trend cost paperbench microbench cec sim clean
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,16 @@ TREND_GLOB ?= *
 trend:
 	$(GO) run ./cmd/cryoobs trend -history $(BENCH_HISTORY) \
 		-last $(TREND_LAST) -glob '$(TREND_GLOB)'
+
+# Span-scoped cost attribution of a smoke bench run (docs/OBSERVABILITY.md):
+# per-stage CPU/alloc/engine-counter tree on stderr, journal + history
+# copies under build/ for cryoobs cost.
+cost:
+	@mkdir -p build
+	$(GO) run ./cmd/cryobench -profile $(BENCH_PROFILE) -repeat 1 \
+		-out build/BENCH_cost.json \
+		-journal build/cost-journal.jsonl -history build/cost-history.jsonl \
+		-cost -
 
 # Go microbenchmarks (the paper-benchmark target predating cryobench).
 paperbench:

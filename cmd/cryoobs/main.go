@@ -8,6 +8,7 @@
 //	cryoobs merge   journal.jsonl...                             # merged JSONL to stdout
 //	cryoobs explain [-o report.md] [-md] journal-a journal-b     # cross-run attribution
 //	cryoobs trend   [-history bench/history.jsonl] [-glob ...]   # run-over-run metric trends
+//	cryoobs cost    [-run <id>] [-md|-json] <journal|history>    # span cost-attribution tree
 //
 // report renders per-run stage timelines, failure sites ranked by
 // recurrence, watchdog stall post-mortems (active span stack + goroutine
@@ -60,6 +61,8 @@ func main() {
 		cmdExplain(args)
 	case "trend":
 		cmdTrend(args)
+	case "cost":
+		cmdCost(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -80,7 +83,10 @@ commands:
   explain  attribute the QoR and runtime difference between two journal
            runs: cryoobs explain <journal-a> <journal-b>
   trend    run-over-run metric trend tables from the -history store:
-           cryoobs trend [-history bench/history.jsonl] [-glob spice.*]`)
+           cryoobs trend [-history bench/history.jsonl] [-glob spice.*]
+  cost     span cost-attribution tree (self-CPU sorted, engine-counter
+           columns) from a journal's cost events, or the per-stage cost
+           table of a history record: cryoobs cost <journal|history>`)
 	os.Exit(2)
 }
 
@@ -267,6 +273,106 @@ func cmdTrend(args []string) {
 	default:
 		check(rep.WriteText(w))
 	}
+}
+
+// cmdCost renders cost attribution captured by the -cost flag. Given a
+// journal it rebuilds the full span cost tree from the typed cost events;
+// given a history store it falls back to the flat per-stage cost columns
+// of the selected (default: latest) record.
+func cmdCost(args []string) {
+	fs := flag.NewFlagSet("cost", flag.ExitOnError)
+	of := obs.InstallFlags(fs)
+	run := fs.String("run", "", "run ID to select (default: last run carrying cost data)")
+	md := fs.Bool("md", false, "render a markdown table instead of text")
+	asJSON := fs.Bool("json", false, "emit the cost report as JSON")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	counters := fs.String("counters", "", "comma-separated counter globs shown per node (default: engine counters spice.solver.*, sat.*, ...)")
+	fs.Parse(args)
+	defer activate(of)()
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cryoobs cost [-run <id>] [-md|-json] [-o file] <journal.jsonl|history.jsonl>")
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+	var opts obs.CostRenderOptions
+	if *counters != "" {
+		for _, g := range strings.Split(*counters, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				opts.CounterGlobs = append(opts.CounterGlobs, g)
+			}
+		}
+	}
+
+	// A journal line always carries "kind"; a history line never does. Try
+	// the journal shape first and fall back to history records.
+	evs, jerr := forensics.Load(path)
+	if jerr == nil && isJournal(evs) {
+		rep, err := forensics.CostFromEvents(evs, *run)
+		check(err)
+		switch {
+		case *asJSON:
+			check(rep.WriteJSON(w))
+		case *md:
+			check(rep.WriteMarkdown(w, opts))
+		default:
+			check(rep.WriteText(w, opts))
+		}
+		return
+	}
+	recs, herr := obs.ReadHistoryFile(path)
+	if herr != nil || len(recs) == 0 {
+		if jerr != nil {
+			check(jerr)
+		}
+		check(fmt.Errorf("%s holds neither journal cost events nor history records", path))
+	}
+	rec := pickCostRecord(recs, *run)
+	if rec == nil {
+		check(fmt.Errorf("%s: no history record with stage costs (run %q)", path, *run))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rec.Costs))
+		return
+	}
+	check(forensics.WriteStageCosts(w, rec))
+}
+
+// isJournal reports whether loaded events look like a journal (at least
+// one record decoded a kind; history lines leave Kind empty).
+func isJournal(evs []obs.Event) bool {
+	for i := range evs {
+		if evs[i].Kind != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// pickCostRecord selects the history record to render: the requested run,
+// or the newest record that carries stage costs.
+func pickCostRecord(recs []obs.HistoryRecord, run string) *obs.HistoryRecord {
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := &recs[i]
+		if run != "" {
+			if r.Run == run {
+				return r
+			}
+			continue
+		}
+		if len(r.Costs) > 0 {
+			return r
+		}
+	}
+	return nil
 }
 
 func loadArgs(fs *flag.FlagSet) []obs.Event {

@@ -161,7 +161,9 @@ func (o Options) withDefaults() Options {
 // Reason set and no counterexample.
 func Check(ctx context.Context, a, b *aig.AIG, opt Options) *Verdict {
 	opt = opt.withDefaults()
-	_, span := obs.Start(ctx, "cec.check")
+	// Rebind ctx so the sweep/fallback spans (and their worker goroutines'
+	// cost labels) nest under cec.check instead of its parent.
+	ctx, span := obs.Start(ctx, "cec.check")
 	span.SetAttr("a", a.Name)
 	span.SetAttr("b", b.Name)
 	defer span.End()

@@ -86,12 +86,12 @@ func CharacterizeCell(ctx context.Context, cell *pdk.Cell, cfg Config) (*liberty
 // characterizeCell measures one cell on a caller-provided bounded worker
 // pool, so a library run shares one pool across all its cells.
 func characterizeCell(ctx context.Context, cell *pdk.Cell, cfg Config, work chan struct{}) (*liberty.Cell, error) {
-	_, span := obs.Start(ctx, "charlib.cell")
+	ctx, span := obs.Start(ctx, "charlib.cell")
 	span.SetAttr("cell", cell.Name)
 	defer span.End()
 	t0 := time.Now()
 	ch := &charer{cfg: cfg, work: work}
-	lc, err := ch.cell(cell)
+	lc, err := ch.cell(ctx, cell)
 	obs.C("charlib.cells").Inc()
 	obs.H("charlib.cell.seconds").Observe(time.Since(t0).Seconds())
 	return lc, err
@@ -221,8 +221,11 @@ type arcResult struct {
 
 // cell measures every arc of the cell concurrently (each arc's grid rows
 // drain through the shared worker pool) and assembles the liberty view in
-// deterministic pin/arc order, independent of completion order.
-func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
+// deterministic pin/arc order, independent of completion order. ctx carries
+// the cell span: each arc and the leakage sweep open child spans on their
+// worker goroutines, so cost attribution sees per-arc paths instead of one
+// opaque cell.
+func (ch *charer) cell(ctx context.Context, cell *pdk.Cell) (*liberty.Cell, error) {
 	// The arc task is shared across all cells of the library run; each cell
 	// grows its total as it plans arcs (incremental discovery), so the
 	// percentage stays honest while the plan is still unfolding.
@@ -240,6 +243,8 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			_, lspan := obs.Start(ctx, "charlib.leakage")
+			defer lspan.End()
 			leak, leakErr = ch.leakage(cell)
 		}()
 	}
@@ -275,6 +280,11 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 			wg.Add(1)
 			go func(out string, slot *arcResult) {
 				defer wg.Done()
+				_, aspan := obs.Start(ctx, "charlib.arc")
+				if aspan != nil {
+					aspan.SetAttr("arc", "clk->"+out)
+				}
+				defer aspan.End()
 				t0 := time.Now()
 				slot.tm, slot.pw, slot.err = ch.clockArc(cell, out)
 				arcsTask.Inc()
@@ -304,6 +314,11 @@ func (ch *charer) cell(cell *pdk.Cell) (*liberty.Cell, error) {
 				wg.Add(1)
 				go func(sp combSpec, out string, slot *arcResult) {
 					defer wg.Done()
+					_, aspan := obs.Start(ctx, "charlib.arc")
+					if aspan != nil {
+						aspan.SetAttr("arc", sp.in+"->"+out)
+					}
+					defer aspan.End()
 					t0 := time.Now()
 					slot.tm, slot.pw, slot.err = ch.combArc(cell, sp.in, out, sp.vec, sp.o0, sp.o1)
 					arcsTask.Inc()

@@ -1,0 +1,113 @@
+package forensics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// CostFromEvents reconstructs a cost report from a journal's typed cost
+// events: the summary event (report totals in attrs, no detail payload)
+// plus one node event per span path, relinked into a tree by path. run
+// selects which journal run to read; "" picks the last run that emitted
+// cost events. Returns an error when the events carry no cost data.
+func CostFromEvents(evs []obs.Event, run string) (*obs.CostReport, error) {
+	if run == "" {
+		for i := len(evs) - 1; i >= 0; i-- {
+			if evs[i].Kind == obs.KindCost {
+				run = evs[i].Run
+				break
+			}
+		}
+		if run == "" {
+			return nil, fmt.Errorf("forensics: no cost events in journal (was the run started with -cost?)")
+		}
+	}
+	rep := &obs.CostReport{}
+	var flat []*obs.CostNode
+	sawSummary := false
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind != obs.KindCost || e.Run != run {
+			continue
+		}
+		if len(e.Detail) == 0 {
+			sawSummary = true
+			rep.WindowSec = attrF64(e.Attrs, "window_seconds")
+			rep.ProcessCPUSec = attrF64(e.Attrs, "process_cpu_seconds")
+			rep.ProfiledCPUSec = attrF64(e.Attrs, "profiled_cpu_seconds")
+			rep.CPUAttributed = e.Attrs["cpu_attributed"] == "true"
+			continue
+		}
+		var n obs.CostNode
+		if err := json.Unmarshal(e.Detail, &n); err != nil {
+			return nil, fmt.Errorf("forensics: cost event seq %d: %w", e.Seq, err)
+		}
+		flat = append(flat, &n)
+	}
+	if !sawSummary && len(flat) == 0 {
+		return nil, fmt.Errorf("forensics: run %s has no cost events", run)
+	}
+	// Relink by path. Emission is preorder, so a parent always precedes its
+	// children and child order within the events is the report's sort order.
+	byPath := make(map[string]*obs.CostNode, len(flat))
+	for _, n := range flat {
+		byPath[n.Path] = n
+		if i := strings.LastIndex(n.Path, "/"); i >= 0 {
+			if p := byPath[n.Path[:i]]; p != nil {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		rep.Roots = append(rep.Roots, n)
+	}
+	return rep, nil
+}
+
+func attrF64(attrs map[string]string, key string) float64 {
+	v, err := strconv.ParseFloat(attrs[key], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// WriteStageCosts renders one history record's per-stage cost columns
+// (-history records written under -cost) as a text table, hottest self-CPU
+// first.
+func WriteStageCosts(w io.Writer, rec *obs.HistoryRecord) error {
+	if len(rec.Costs) == 0 {
+		return fmt.Errorf("forensics: history record %s carries no stage costs (was the run started with -cost?)", rec.Run)
+	}
+	names := make([]string, 0, len(rec.Costs))
+	nameW := len("stage")
+	for name := range rec.Costs {
+		names = append(names, name)
+		if len(name) > nameW {
+			nameW = len(name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := rec.Costs[names[i]], rec.Costs[names[j]]
+		if a.SelfCPUSec != b.SelfCPUSec {
+			return a.SelfCPUSec > b.SelfCPUSec
+		}
+		return names[i] < names[j]
+	})
+	ew := &errWriter{w: w}
+	ew.printf("stage costs: run %s (%s), peak RSS %d bytes, GC pause %.3fs\n\n",
+		rec.Run, rec.Time().Format("2006-01-02 15:04:05"), rec.PeakRSSBytes, rec.GCPauseTotalSec)
+	ew.printf("%-*s  %10s  %10s  %14s  %12s  %10s\n",
+		nameW, "stage", "self-cpu", "wall", "self-allocs", "self-objs", "gc-cpu")
+	for _, name := range names {
+		c := rec.Costs[name]
+		ew.printf("%-*s  %9.3fs  %9.3fs  %14d  %12d  %9.3fs\n",
+			nameW, name, c.SelfCPUSec, c.WallSec, c.SelfAllocBytes, c.SelfAllocObjects, c.GCCPUSec)
+	}
+	return ew.err
+}

@@ -67,7 +67,10 @@ func (t *TrendReport) Drifting() int {
 // the namespace trend globs select over: counters and gauges keep their
 // registry names, each histogram contributes "<name>.count" and
 // "<name>.mean", per-stage wall times appear as "stage.<span>", and QoR
-// metrics keep the "qor." names the producing tool staged.
+// metrics keep the "qor." names the producing tool staged. Runs captured
+// under -cost additionally contribute "cost.<span>.<dimension>" columns
+// (child-exclusive CPU/alloc/GC per stage), and every record carries
+// "runtime.peak_rss_bytes" / "runtime.gc_pause_total_seconds".
 func FlattenRecord(rec *obs.HistoryRecord) map[string]float64 {
 	out := map[string]float64{}
 	if m := rec.Metrics; m != nil {
@@ -89,6 +92,31 @@ func FlattenRecord(rec *obs.HistoryRecord) map[string]float64 {
 	}
 	for k, v := range rec.QoR {
 		out[k] = v
+	}
+	for k, c := range rec.Costs {
+		if c.SelfCPUSec != 0 {
+			out["cost."+k+".self_cpu_seconds"] = c.SelfCPUSec
+		}
+		if c.WallSec != 0 {
+			out["cost."+k+".wall_seconds"] = c.WallSec
+		}
+		if c.SelfAllocBytes != 0 {
+			out["cost."+k+".self_alloc_bytes"] = float64(c.SelfAllocBytes)
+		}
+		if c.SelfAllocObjects != 0 {
+			out["cost."+k+".self_alloc_objects"] = float64(c.SelfAllocObjects)
+		}
+		if c.GCCPUSec != 0 {
+			out["cost."+k+".gc_cpu_seconds"] = c.GCCPUSec
+		}
+	}
+	// Record-level process health beats the sampled gauges of the same
+	// name: it is present even when the run never scraped /metrics.
+	if rec.PeakRSSBytes > 0 {
+		out["runtime.peak_rss_bytes"] = float64(rec.PeakRSSBytes)
+	}
+	if rec.GCPauseTotalSec > 0 {
+		out["runtime.gc_pause_total_seconds"] = rec.GCPauseTotalSec
 	}
 	return out
 }

@@ -17,7 +17,7 @@ import (
 // annotation the event engine's glitch timing tracks the characterized
 // corner instead of unit delays.
 func (m *Model) Annotate(ctx context.Context, lib *liberty.Library, opt sta.Options) error {
-	_, span := obs.Start(ctx, "gsim.annotate")
+	ctx, span := obs.Start(ctx, "gsim.annotate")
 	span.SetAttr("design", m.Name)
 	defer span.End()
 	timing, err := sta.Analyze(ctx, m.nl, lib, opt)

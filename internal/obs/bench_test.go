@@ -41,6 +41,24 @@ func BenchmarkDisabledJournal(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledCost proves cost attribution adds nothing to the
+// disabled span path: with cost (and tracing) off, Start/End never snapshot
+// boundaries or touch goroutine labels, and CostEnabled is one atomic load.
+func BenchmarkDisabledCost(b *testing.B) {
+	DisableCost()
+	DisableTracing()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CostEnabled() {
+			b.Fatal("cost must be disabled")
+		}
+		_, s := Start(ctx, "bench.cost")
+		s.End()
+	}
+}
+
 // BenchmarkDisabledProgress proves progress instrumentation in inner loops
 // (gsim vector blocks, cec sweep nodes) is allocation-free when tracking is
 // off: Progress returns nil and every method is a nil-receiver no-op.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,7 +18,7 @@ import (
 
 // Flags carries the standard observability CLI flags shared by every
 // binary in the flow: -metrics, -trace, -pprof, -obs-addr, -loglevel,
-// -journal, -progress, -stall, -stall-abort, and -history. Binaries must
+// -journal, -progress, -stall, -stall-abort, -history, and -cost. Binaries must
 // not hand-register any of these: one shared InstallFlags call is what
 // keeps the flag surface identical across all ten tools (pinned by
 // TestFlagSurface).
@@ -42,9 +43,14 @@ type Flags struct {
 	// (+ any staged QoR summary) to the JSONL metrics history store on
 	// exit (bench/history.jsonl by convention; cryoobs trend reads it).
 	HistoryPath string
+	// CostPath enables span cost attribution (CPU profile sliced by span
+	// labels + alloc/GC/counter boundary deltas) and writes the cost tree
+	// to this file on exit ('-' for stderr).
+	CostPath string
 
 	runEnded     atomic.Bool // run.end emitted (Flush may be called twice)
 	histWritten  atomic.Bool // history appended (Flush may be called twice)
+	costWritten  atomic.Bool // cost journal events emitted
 	stopReporter func()      // terminates the periodic progress reporter
 }
 
@@ -62,6 +68,7 @@ func InstallFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.StallAfter, "stall", 0, "stall watchdog: journal a goroutine-dump post-mortem when a stage makes no progress for this long")
 	fs.BoolVar(&f.StallAbort, "stall-abort", false, "with -stall, abort the process (exit 2) after capturing the stall post-mortem")
 	fs.StringVar(&f.HistoryPath, "history", "", "append this run's metrics snapshot + QoR summary to this JSONL history store (cryoobs trend reads it)")
+	fs.StringVar(&f.CostPath, "cost", "", "attribute CPU/alloc/engine-counter cost to flow spans and write the cost tree to this file on exit ('-' for stderr); implies metrics+tracing")
 	return f
 }
 
@@ -82,6 +89,9 @@ func (f *Flags) Activate() (flush func(), err error) {
 	}
 	if f.TracePath != "" {
 		EnableTracing()
+	}
+	if f.CostPath != "" {
+		EnableCost()
 	}
 	if f.PprofAddr != "" {
 		if err := servePprof(f.PprofAddr); err != nil {
@@ -143,6 +153,28 @@ func (f *Flags) Flush() {
 		f.stopReporter()
 		f.stopReporter = nil
 	}
+	if f.CostPath != "" {
+		// Finalize before the history record and run.end so the CPU columns
+		// land in both the cost file and the history stage costs.
+		FinalizeCost()
+		if rep := BuildCostReport(true); rep != nil {
+			if f.costWritten.CompareAndSwap(false, true) {
+				rep.JournalCost(J())
+			}
+			var werr error
+			if f.CostPath == "-" {
+				fmt.Fprintln(os.Stderr, "--- cost ---")
+				werr = rep.WriteText(os.Stderr, CostRenderOptions{})
+			} else {
+				werr = writeFileWith(f.CostPath, func(w io.Writer) error {
+					return rep.WriteText(w, CostRenderOptions{})
+				})
+			}
+			if werr != nil {
+				Log().Errorf("obs: writing cost report to %s: %v", f.CostPath, werr)
+			}
+		}
+	}
 	if f.HistoryPath != "" && f.histWritten.CompareAndSwap(false, true) {
 		if err := AppendHistory(f.HistoryPath, buildHistoryRecord()); err != nil {
 			Log().Errorf("obs: history: appending to %s: %v", f.HistoryPath, err)
@@ -178,6 +210,15 @@ func buildHistoryRecord() *HistoryRecord {
 	if MetricsEnabled() {
 		SampleRuntimeMetrics()
 		rec.Metrics = Metrics().Snapshot()
+	}
+	// Peak RSS and GC pause totals are recorded unconditionally: runs that
+	// never scraped /metrics would otherwise miss them entirely.
+	rec.PeakRSSBytes = peakRSSBytes()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec.GCPauseTotalSec = round6(float64(ms.PauseTotalNs) / 1e9)
+	if rep := BuildCostReport(true); rep != nil {
+		rec.Costs = rep.StageCosts()
 	}
 	if totals := Tracing().Totals(); len(totals) > 0 {
 		rec.Stages = make(map[string]float64, len(totals))

@@ -22,7 +22,7 @@ func TestFlagSurface(t *testing.T) {
 	fs.VisitAll(func(f *flag.Flag) { got = append(got, f.Name) })
 	sort.Strings(got)
 	want := []string{
-		"history", "journal", "loglevel", "metrics", "obs-addr",
+		"cost", "history", "journal", "loglevel", "metrics", "obs-addr",
 		"pprof", "progress", "stall", "stall-abort", "trace",
 	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {

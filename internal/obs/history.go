@@ -30,6 +30,14 @@ type HistoryRecord struct {
 	// QoR carries flattened quality-of-results metrics contributed by the
 	// running tool (cryobench flattens its baseline here).
 	QoR map[string]float64 `json:"qor,omitempty"`
+	// Costs maps span name -> child-exclusive cost rollup (present when the
+	// run captured cost attribution via -cost).
+	Costs map[string]StageCost `json:"costs,omitempty"`
+	// PeakRSSBytes is the process's peak resident set size at flush (0 when
+	// the platform does not report it).
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
+	// GCPauseTotalSec is the cumulative stop-the-world GC pause time.
+	GCPauseTotalSec float64 `json:"gc_pause_total_seconds,omitempty"`
 	// Artifacts maps produced file path -> SHA-256, from the journal's
 	// provenance events.
 	Artifacts map[string]string `json:"artifacts,omitempty"`

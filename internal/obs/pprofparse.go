@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// profileCPUByLabel parses a pprof CPU profile (the gzipped protobuf that
+// runtime/pprof writes) and sums the CPU sample values per value of the
+// given string label, plus the grand total over all samples. Samples that
+// do not carry the label contribute only to the total — the caller renders
+// them as unattributed. Only the handful of proto fields needed for label
+// slicing are decoded (sample types, samples, the string table), so the
+// parser stays stdlib-only instead of vendoring the pprof proto.
+func profileCPUByLabel(data []byte, labelKey string) (byLabel map[string]int64, totalNs int64, err error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, 0, fmt.Errorf("obs: profile: gunzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, 0, fmt.Errorf("obs: profile: gunzip: %w", err)
+		}
+	}
+
+	// First pass over the top-level Profile message: collect the raw
+	// sample_type (field 1) and sample (field 2) submessages and the string
+	// table (field 6). Samples reference strings by table index, so they can
+	// only be decoded after the whole message has been scanned.
+	var sampleTypes, samples [][]byte
+	var strtab []string
+	r := wireReader{b: data}
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return nil, 0, err
+		}
+		switch {
+		case num == 1 && wire == wireBytes:
+			v, err := r.bytes()
+			if err != nil {
+				return nil, 0, err
+			}
+			sampleTypes = append(sampleTypes, v)
+		case num == 2 && wire == wireBytes:
+			v, err := r.bytes()
+			if err != nil {
+				return nil, 0, err
+			}
+			samples = append(samples, v)
+		case num == 6 && wire == wireBytes:
+			v, err := r.bytes()
+			if err != nil {
+				return nil, 0, err
+			}
+			strtab = append(strtab, string(v))
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+
+	cpuIdx, err := cpuValueIndex(sampleTypes, strtab)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	byLabel = map[string]int64{}
+	for _, raw := range samples {
+		v, label, err := decodeSample(raw, strtab, cpuIdx, labelKey)
+		if err != nil {
+			return nil, 0, err
+		}
+		totalNs += v
+		if label != "" {
+			byLabel[label] += v
+		}
+	}
+	return byLabel, totalNs, nil
+}
+
+// cpuValueIndex finds which per-sample value column holds CPU time: the
+// ValueType whose type string is "cpu" (a CPU profile's columns are
+// samples/count, cpu/nanoseconds). Falls back to the last column, which is
+// pprof's own default_sample_type convention.
+func cpuValueIndex(sampleTypes [][]byte, strtab []string) (int, error) {
+	for i, raw := range sampleTypes {
+		r := wireReader{b: raw}
+		for !r.done() {
+			num, wire, err := r.field()
+			if err != nil {
+				return 0, err
+			}
+			if num == 1 && wire == wireVarint {
+				idx, err := r.varint()
+				if err != nil {
+					return 0, err
+				}
+				if int(idx) < len(strtab) && strtab[idx] == "cpu" {
+					return i, nil
+				}
+			} else if err := r.skip(wire); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if n := len(sampleTypes); n > 0 {
+		return n - 1, nil
+	}
+	return 0, nil
+}
+
+// decodeSample extracts one Sample's CPU value (column cpuIdx) and the
+// value of its labelKey string label ("" when absent).
+func decodeSample(raw []byte, strtab []string, cpuIdx int, labelKey string) (int64, string, error) {
+	var values []int64
+	var label string
+	r := wireReader{b: raw}
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return 0, "", err
+		}
+		switch {
+		case num == 2 && wire == wireBytes: // packed repeated int64 value
+			packed, err := r.bytes()
+			if err != nil {
+				return 0, "", err
+			}
+			pr := wireReader{b: packed}
+			for !pr.done() {
+				v, err := pr.varint()
+				if err != nil {
+					return 0, "", err
+				}
+				values = append(values, int64(v))
+			}
+		case num == 2 && wire == wireVarint: // unpacked encoding
+			v, err := r.varint()
+			if err != nil {
+				return 0, "", err
+			}
+			values = append(values, int64(v))
+		case num == 3 && wire == wireBytes: // Label submessage
+			lraw, err := r.bytes()
+			if err != nil {
+				return 0, "", err
+			}
+			k, v, err := decodeLabel(lraw, strtab)
+			if err != nil {
+				return 0, "", err
+			}
+			if k == labelKey {
+				label = v
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return 0, "", err
+			}
+		}
+	}
+	if len(values) == 0 {
+		return 0, label, nil
+	}
+	if cpuIdx >= len(values) {
+		cpuIdx = len(values) - 1
+	}
+	return values[cpuIdx], label, nil
+}
+
+// decodeLabel extracts a Label's key and string value (both are string
+// table indices; numeric labels come back with an empty value).
+func decodeLabel(raw []byte, strtab []string) (key, val string, err error) {
+	r := wireReader{b: raw}
+	for !r.done() {
+		num, wire, err := r.field()
+		if err != nil {
+			return "", "", err
+		}
+		if wire == wireVarint && (num == 1 || num == 2) {
+			idx, err := r.varint()
+			if err != nil {
+				return "", "", err
+			}
+			if int(idx) < len(strtab) {
+				if num == 1 {
+					key = strtab[idx]
+				} else {
+					val = strtab[idx]
+				}
+			}
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return "", "", err
+		}
+	}
+	return key, val, nil
+}
+
+// Protobuf wire types used by the pprof proto.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// wireReader is a minimal protobuf wire-format cursor.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) done() bool { return r.off >= len(r.b) }
+
+// field reads the next field tag and returns its number and wire type.
+func (r *wireReader) field() (num, wire int, err error) {
+	tag, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+func (r *wireReader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.off >= len(r.b) {
+			return 0, fmt.Errorf("obs: profile: truncated varint")
+		}
+		b := r.b[r.off]
+		r.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: profile: varint overflow")
+}
+
+// bytes reads a length-delimited payload.
+func (r *wireReader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.b)-r.off) < n {
+		return nil, fmt.Errorf("obs: profile: truncated field (%d bytes wanted, %d left)", n, len(r.b)-r.off)
+	}
+	v := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v, nil
+}
+
+func (r *wireReader) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.varint()
+		return err
+	case wireFixed64:
+		if len(r.b)-r.off < 8 {
+			return fmt.Errorf("obs: profile: truncated fixed64")
+		}
+		r.off += 8
+		return nil
+	case wireBytes:
+		_, err := r.bytes()
+		return err
+	case wireFixed32:
+		if len(r.b)-r.off < 4 {
+			return fmt.Errorf("obs: profile: truncated fixed32")
+		}
+		r.off += 4
+		return nil
+	default:
+		return fmt.Errorf("obs: profile: unsupported wire type %d", wire)
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// --- tiny protobuf encoder, just enough to hand-craft pprof profiles ---
+
+func pbVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pbTag(b []byte, field, wire int) []byte {
+	return pbVarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func pbBytes(b []byte, field int, payload []byte) []byte {
+	b = pbTag(b, field, 2)
+	b = pbVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func pbInt(b []byte, field int, v uint64) []byte {
+	b = pbTag(b, field, 0)
+	return pbVarint(b, v)
+}
+
+// craftProfile builds a pprof Profile with the given string table,
+// sample types (pairs of string-table indices), and samples.
+type craftSample struct {
+	values   []int64
+	labels   map[int]int // key index -> str index
+	packed   bool
+	junk     bool // include an unknown field to exercise skipping
+	fixedLbl bool
+}
+
+func craftProfile(strTab []string, types [][2]int, samples []craftSample) []byte {
+	var p []byte
+	for _, st := range types {
+		var vt []byte
+		vt = pbInt(vt, 1, uint64(st[0]))
+		vt = pbInt(vt, 2, uint64(st[1]))
+		p = pbBytes(p, 1, vt)
+	}
+	for _, s := range samples {
+		var sm []byte
+		if s.junk {
+			sm = pbInt(sm, 1, 42) // location_id — parser must skip
+		}
+		if s.packed {
+			var vals []byte
+			for _, v := range s.values {
+				vals = pbVarint(vals, uint64(v))
+			}
+			sm = pbBytes(sm, 2, vals)
+		} else {
+			for _, v := range s.values {
+				sm = pbInt(sm, 2, uint64(v))
+			}
+		}
+		for k, str := range s.labels {
+			var lb []byte
+			lb = pbInt(lb, 1, uint64(k))
+			lb = pbInt(lb, 2, uint64(str))
+			if s.fixedLbl {
+				// unknown fixed64 field inside the label
+				lb = pbTag(lb, 15, 1)
+				lb = append(lb, 0, 0, 0, 0, 0, 0, 0, 0)
+			}
+			sm = pbBytes(sm, 3, lb)
+		}
+		p = pbBytes(p, 2, sm)
+	}
+	for _, s := range strTab {
+		p = pbBytes(p, 6, []byte(s))
+	}
+	return p
+}
+
+// The canonical fixture: two sample types (samples/count, cpu/nanoseconds),
+// one labeled sample worth 500ns under span=flow/charlib, one unlabeled
+// sample worth 250ns.
+func fixtureProfile() []byte {
+	strTab := []string{"", "samples", "count", "cpu", "nanoseconds", "span", "flow/charlib"}
+	return craftProfile(strTab,
+		[][2]int{{1, 2}, {3, 4}},
+		[]craftSample{
+			{values: []int64{1, 500}, labels: map[int]int{5: 6}, packed: true, junk: true, fixedLbl: true},
+			{values: []int64{2, 250}, packed: false},
+		})
+}
+
+func TestProfileCPUByLabel(t *testing.T) {
+	byLabel, total, err := profileCPUByLabel(fixtureProfile(), "span")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if total != 750 {
+		t.Errorf("total = %d ns, want 750", total)
+	}
+	if got := byLabel["flow/charlib"]; got != 500 {
+		t.Errorf("flow/charlib = %d ns, want 500", got)
+	}
+	if len(byLabel) != 1 {
+		t.Errorf("unexpected labels: %v", byLabel)
+	}
+}
+
+func TestProfileCPUByLabelGzipped(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(fixtureProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byLabel, total, err := profileCPUByLabel(buf.Bytes(), "span")
+	if err != nil {
+		t.Fatalf("parse gzipped: %v", err)
+	}
+	if total != 750 || byLabel["flow/charlib"] != 500 {
+		t.Errorf("gzipped parse: total=%d byLabel=%v", total, byLabel)
+	}
+}
+
+// Without a "cpu" sample type the parser must fall back to the last value
+// column (pprof convention puts the primary metric last).
+func TestProfileCPUColumnFallback(t *testing.T) {
+	strTab := []string{"", "alloc_objects", "count", "alloc_space", "bytes", "span", "p"}
+	data := craftProfile(strTab,
+		[][2]int{{1, 2}, {3, 4}},
+		[]craftSample{{values: []int64{7, 900}, labels: map[int]int{5: 6}, packed: true}})
+	byLabel, total, err := profileCPUByLabel(data, "span")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if total != 900 || byLabel["p"] != 900 {
+		t.Errorf("fallback column: total=%d byLabel=%v", total, byLabel)
+	}
+}
+
+func TestProfileCPUByLabelGarbage(t *testing.T) {
+	if _, _, err := profileCPUByLabel([]byte{0xff, 0xff, 0xff}, "span"); err == nil {
+		t.Error("garbage input parsed without error")
+	}
+	byLabel, total, err := profileCPUByLabel(nil, "span")
+	if err != nil {
+		t.Fatalf("empty profile: %v", err)
+	}
+	if total != 0 || len(byLabel) != 0 {
+		t.Errorf("empty profile: total=%d byLabel=%v", total, byLabel)
+	}
+}
+
+// TestProfileCPUByLabelReal round-trips a real runtime CPU profile: labeled
+// busy work must show up under its span label after parsing the runtime's
+// own gzipped protobuf output.
+func TestProfileCPUByLabelReal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiler busy: %v", err)
+	}
+	pprof.Do(context.Background(), pprof.Labels("span", "real/burn"), func(context.Context) {
+		burnCPU(200 * time.Millisecond)
+	})
+	pprof.StopCPUProfile()
+
+	byLabel, total, err := profileCPUByLabel(buf.Bytes(), "span")
+	if err != nil {
+		t.Fatalf("parse real profile: %v", err)
+	}
+	if total == 0 {
+		t.Skip("profiler landed no samples")
+	}
+	if byLabel["real/burn"] == 0 {
+		t.Errorf("no CPU attributed to real/burn; byLabel=%v total=%d", byLabel, total)
+	}
+}

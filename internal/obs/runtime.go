@@ -30,6 +30,10 @@ func SampleRuntimeMetrics() {
 	G("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
 	G("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
 	G("runtime.gc_count").Set(float64(ms.NumGC))
+	G("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	if rss := peakRSSBytes(); rss > 0 {
+		G("runtime.peak_rss_bytes").Set(float64(rss))
+	}
 
 	// PauseNs is a ring of the last 256 pauses; replay only the ones that
 	// are new since the previous sample so each pause is observed once.

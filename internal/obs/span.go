@@ -3,7 +3,9 @@ package obs
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -21,8 +23,9 @@ func Str(k, v string) Attr { return Attr{Key: k, Val: v} }
 // Int builds an integer attribute.
 func Int(k string, v int) Attr { return Attr{Key: k, Val: strconv.Itoa(v)} }
 
-// F64 builds a float attribute.
-func F64(k string, v float64) Attr { return Attr{Key: k, Val: strconv.FormatFloat(v, 'g', 6, 64)} }
+// F64 builds a float attribute, rendered at full precision (shortest
+// round-trip form) so counter-delta attrs do not silently truncate.
+func F64(k string, v float64) Attr { return Attr{Key: k, Val: strconv.FormatFloat(v, 'g', -1, 64)} }
 
 // Span is one timed region of the flow. Spans form a tree: children are
 // created by calling Start with the context returned by the parent's Start.
@@ -32,12 +35,19 @@ type Span struct {
 	name   string
 	start  time.Time
 	parent *Span
+	// path is the '/'-joined span path used for cost attribution ("" when
+	// cost capture was off at Start).
+	path string
+	// restore carries the pre-span context whose goroutine labels End
+	// reinstates; written before the span is published, read only by End.
+	restore context.Context
 
 	mu       sync.Mutex
 	attrs    []Attr
 	children []*Span
 	dur      time.Duration
 	ended    bool
+	cost     *costStart // boundary snapshot; nil when cost is off or folded
 }
 
 type spanCtxKey struct{}
@@ -54,6 +64,11 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 	}
 	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
 	s := &Span{name: name, start: time.Now(), parent: parent, attrs: attrs}
+	if CostEnabled() {
+		s.path = spanPath(parent, name)
+		s.cost = takeCostStart()
+		s.restore = ctx
+	}
 	if parent != nil {
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
@@ -63,7 +78,40 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		t.roots = append(t.roots, s)
 		t.mu.Unlock()
 	}
-	return context.WithValue(ctx, spanCtxKey{}, s), s
+	out := context.WithValue(ctx, spanCtxKey{}, s)
+	if s.path != "" {
+		// Label this goroutine (and every goroutine it spawns inside the
+		// span) with the span path, so CPU profile samples stay attributable
+		// to the stage even inside worker pools. End restores the previous
+		// labels on this goroutine; workers that outlive the span keep the
+		// inherited label, which is the correct attribution for their work.
+		out = pprof.WithLabels(out, pprof.Labels(CostLabelKey, s.path))
+		pprof.SetGoroutineLabels(out)
+	}
+	return out, s
+}
+
+// spanPath joins the ancestor chain with '/'. When the parent predates
+// cost capture (its path is empty), the chain is rebuilt from span names
+// so late-enabled capture still nests correctly.
+func spanPath(parent *Span, name string) string {
+	if parent == nil {
+		return name
+	}
+	if parent.path != "" {
+		return parent.path + "/" + name
+	}
+	var names []string
+	for p := parent; p != nil; p = p.parent {
+		names = append(names, p.name)
+	}
+	var b strings.Builder
+	for i := len(names) - 1; i >= 0; i-- {
+		b.WriteString(names[i])
+		b.WriteByte('/')
+	}
+	b.WriteString(name)
+	return b.String()
 }
 
 // FromContext returns the span carried by ctx, or nil.
@@ -79,18 +127,31 @@ func Detach(ctx context.Context) context.Context {
 	return context.WithValue(ctx, spanCtxKey{}, (*Span)(nil))
 }
 
-// End closes the span, recording its wall time. Ending twice keeps the
-// first duration.
+// End closes the span, recording its wall time, folding its cost deltas
+// into the global cost table, and restoring the goroutine's previous
+// profiler labels. Ending twice keeps the first duration.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
+	var foldStart *costStart
+	var restore context.Context
+	var dur time.Duration
 	if !s.ended {
 		s.ended = true
 		s.dur = time.Since(s.start)
+		dur = s.dur
+		foldStart, s.cost = s.cost, nil
+		restore, s.restore = s.restore, nil
 	}
 	s.mu.Unlock()
+	if foldStart != nil {
+		foldCost(s.path, dur, foldStart)
+	}
+	if restore != nil {
+		pprof.SetGoroutineLabels(restore)
+	}
 }
 
 // SetAttr attaches a key/value annotation (nil-safe; any value is rendered
@@ -106,7 +167,7 @@ func (s *Span) SetAttr(key string, val any) {
 	case int:
 		sv = strconv.Itoa(v)
 	case float64:
-		sv = strconv.FormatFloat(v, 'g', 6, 64)
+		sv = strconv.FormatFloat(v, 'g', -1, 64)
 	default:
 		sv = fmt.Sprintf("%v", val)
 	}

@@ -117,7 +117,12 @@ func Run(ctx context.Context, opt RunOptions) (*Baseline, error) {
 				before := reg.Snapshot()
 				t0 := time.Now()
 
-				repCircuit, err := runOnce(ctx, g, sc, corners, opt)
+				// qor.rep roots each repetition's span subtree, so cost
+				// attribution groups the flow stages per rep instead of
+				// scattering them as top-level roots.
+				repCtx, repSpan := obs.Start(ctx, "qor.rep")
+				repCircuit, err := runOnce(repCtx, g, sc, corners, opt)
+				repSpan.End()
 				if err != nil {
 					obs.J().Failure("qor", err.Error(), map[string]string{
 						"circuit":  name,

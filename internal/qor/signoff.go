@@ -21,7 +21,7 @@ const SignoffVectors = 256
 // output bit. Any divergence is a hard flow error — QoR numbers measured on
 // a functionally wrong netlist are worse than no numbers.
 func signoffFunctional(ctx context.Context, g *aig.AIG, nl *netlist.Netlist, seed int64) error {
-	_, span := obs.Start(ctx, "qor.signoff")
+	ctx, span := obs.Start(ctx, "qor.signoff")
 	span.SetAttr("design", nl.Name)
 	defer span.End()
 
